@@ -1,0 +1,477 @@
+package patchdb
+
+// Benchmark harness: one benchmark per data-bearing table and figure of the
+// paper (Tables II-VI, Figure 6), ablation benchmarks for the design choices
+// DESIGN.md calls out, and micro-benchmarks for the hot paths (feature
+// extraction, Levenshtein, Algorithm 1, diff computation, model training).
+//
+// Table/figure benchmarks run the full experiment at the small scale and
+// report the paper-shaped output once via b.Log; run them individually with
+//
+//	go test -bench=BenchmarkTableII -benchmem
+//
+// and regenerate everything at the default (1/10-paper) scale with
+//
+//	go run ./cmd/patchdb-bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"patchdb/internal/core/augment"
+	"patchdb/internal/core/nearestlink"
+	"patchdb/internal/corpus"
+	"patchdb/internal/diff"
+	"patchdb/internal/experiments"
+	"patchdb/internal/features"
+	"patchdb/internal/lev"
+	"patchdb/internal/ml"
+	"patchdb/internal/ml/neural"
+	"patchdb/internal/ml/tree"
+	"patchdb/internal/oracle"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+)
+
+func sharedBenchLab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchLabOnce.Do(func() { benchLab = experiments.NewLab(experiments.SmallScale) })
+	return benchLab
+}
+
+// BenchmarkTableII regenerates the five-round augmentation accounting
+// (search range, candidates, verified security patches, ratio).
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(experiments.SmallScale)
+		tab, err := lab.RunTableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates the augmentation-method comparison (brute
+// force vs pseudo labeling vs uncertainty-based labeling vs nearest link).
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(experiments.SmallScale)
+		tab, err := lab.RunTableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the synthetic-patch study (RNN performance
+// with and without source-level oversampling).
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(experiments.SmallScale)
+		tab, err := lab.RunTableIV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkTableV regenerates the PatchDB pattern-class distribution.
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(experiments.SmallScale)
+		tab, err := lab.RunTableV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the NVD-vs-wild type-distribution contrast.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(experiments.SmallScale)
+		fig, err := lab.RunFigure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + fig.String())
+		}
+	}
+}
+
+// BenchmarkTableVI regenerates the dataset-quality grid (2 training sets x
+// 2 algorithms x 2 test sets).
+func BenchmarkTableVI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(experiments.SmallScale)
+		tab, err := lab.RunTableVI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationNormalization contrasts nearest-link hit ratios with and
+// without the paper's max-abs feature weighting (Sec. III-B-2).
+func BenchmarkAblationNormalization(b *testing.B) {
+	lab := sharedBenchLab(b)
+	seedX := lab.FeatureRows(lab.NVD)
+	pool := lab.Items(lab.SetI)
+	wildX := make([][]float64, len(pool))
+	for i, it := range pool {
+		wildX[i] = it.Features
+	}
+	hitRatio := func(links []nearestlink.Link) float64 {
+		hits := 0
+		for _, l := range links {
+			if lc, ok := lab.Lookup(pool[l.Wild].ID); ok && lc.Security {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(links))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		normed, err := nearestlink.Search(seedX, wildX, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, err := nearestlink.Search(seedX, wildX, &nearestlink.Options{DisableNormalization: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("hit ratio with weighting: %.1f%%, without: %.1f%%",
+				100*hitRatio(normed), 100*hitRatio(raw))
+		}
+	}
+}
+
+// BenchmarkAblationKNNVsNearestLink contrasts Algorithm 1's one-to-one links
+// against plain 1-NN selection (which may pick one wild patch many times —
+// the contrast the paper draws in Sec. III-B-3).
+func BenchmarkAblationKNNVsNearestLink(b *testing.B) {
+	lab := sharedBenchLab(b)
+	seedX := lab.FeatureRows(lab.NVD)
+	pool := lab.Items(lab.SetI)
+	wildX := make([][]float64, len(pool))
+	for i, it := range pool {
+		wildX[i] = it.Features
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		links, err := nearestlink.Search(seedX, wildX, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		knn, err := nearestlink.KNNSelect(seedX, wildX, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("nearest link candidates: %d (one per seed); KNN distinct candidates: %d",
+				len(links), len(knn))
+		}
+	}
+}
+
+// BenchmarkAblationSearchRange sweeps the unlabeled pool size and reports
+// the round-1 hit ratio — the paper's "a larger search range enables a
+// higher ratio" observation.
+func BenchmarkAblationSearchRange(b *testing.B) {
+	lab := sharedBenchLab(b)
+	seedX := lab.FeatureRows(lab.NVD)
+	full := lab.Items(lab.SetII)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var report []string
+		for _, size := range []int{len(full) / 4, len(full) / 2, len(full)} {
+			pool := full[:size]
+			wildX := make([][]float64, len(pool))
+			for j, it := range pool {
+				wildX[j] = it.Features
+			}
+			links, err := nearestlink.Search(seedX, wildX, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hits := 0
+			for _, l := range links {
+				if lc, ok := lab.Lookup(pool[l.Wild].ID); ok && lc.Security {
+					hits++
+				}
+			}
+			report = append(report, sprintfRatio(size, hits, len(links)))
+		}
+		if i == 0 {
+			b.Log(strings.Join(report, "; "))
+		}
+	}
+}
+
+func sprintfRatio(size, hits, total int) string {
+	return fmt.Sprintf("range=%d ratio=%d%%", size, 100*hits/total)
+}
+
+// BenchmarkAblationVariantTemplates contrasts oversampling with all eight
+// templates against a flag-family-only subset.
+func BenchmarkAblationVariantTemplates(b *testing.B) {
+	gen := corpus.NewGenerator(corpus.Config{Seed: 99})
+	commits := gen.GenerateNVD(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all := &Oversampler{}
+		flagOnly := &Oversampler{Variants: []Variant{VariantFlagSet, VariantFlagClear}}
+		var nAll, nFlag int
+		for _, lc := range commits {
+			s1, err := all.Synthesize(lc.Commit.Hash, lc.Commit.Before, lc.Commit.After)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s2, err := flagOnly.Synthesize(lc.Commit.Hash, lc.Commit.Before, lc.Commit.After)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nAll += len(s1)
+			nFlag += len(s2)
+		}
+		if i == 0 {
+			b.Logf("synthetics from 100 patches: all templates=%d, flag-only=%d", nAll, nFlag)
+		}
+	}
+}
+
+// --- Micro-benchmarks ----------------------------------------------------
+
+func benchPatch(b *testing.B) *diff.Patch {
+	b.Helper()
+	gen := corpus.NewGenerator(corpus.Config{Seed: 4})
+	return gen.GenerateNVD(1)[0].Commit.Patch()
+}
+
+// BenchmarkFeatureExtraction measures the 60-feature extractor on one
+// generated security patch.
+func BenchmarkFeatureExtraction(b *testing.B) {
+	p := benchPatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = features.Extract(p, 0)
+	}
+}
+
+// BenchmarkTokenSequence measures RNN input construction.
+func BenchmarkTokenSequence(b *testing.B) {
+	p := benchPatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = features.TokenSequence(p)
+	}
+}
+
+// BenchmarkLevenshtein measures token-level edit distance on typical hunk
+// sizes.
+func BenchmarkLevenshtein(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func(n int) []string {
+		out := make([]string, n)
+		words := []string{"if", "(", "VAR", ")", "NUM", ";", "FUNC", "&&"}
+		for i := range out {
+			out[i] = words[rng.Intn(len(words))]
+		}
+		return out
+	}
+	x, y := mk(60), mk(60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = lev.Distance(x, y)
+	}
+}
+
+// BenchmarkNearestLinkSearch measures Algorithm 1 on a 120x1200 problem.
+func BenchmarkNearestLinkSearch(b *testing.B) {
+	lab := sharedBenchLab(b)
+	seedX := lab.FeatureRows(lab.NVD)
+	pool := lab.Items(lab.SetI)
+	wildX := make([][]float64, len(pool))
+	for i, it := range pool {
+		wildX[i] = it.Features
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nearestlink.Search(seedX, wildX, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiffCompute measures Myers diff on generated file pairs.
+func BenchmarkDiffCompute(b *testing.B) {
+	gen := corpus.NewGenerator(corpus.Config{Seed: 6})
+	lc := gen.GenerateNVD(1)[0]
+	var path, before, after string
+	for p, v := range lc.Commit.Before {
+		path, before = p, v
+	}
+	after = lc.Commit.After[path]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = diff.Compute(path, before, after, 3)
+	}
+}
+
+// BenchmarkPatchParse measures git patch parsing.
+func BenchmarkPatchParse(b *testing.B) {
+	text := diff.Format(benchPatch(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diff.Parse(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOversample measures full variant synthesis for one patch.
+func BenchmarkOversample(b *testing.B) {
+	gen := corpus.NewGenerator(corpus.Config{Seed: 7})
+	lc := gen.SecurityCommitOfPattern(corpus.PatternBoundCheck)
+	ov := &Oversampler{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ov.Synthesize(lc.Commit.Hash, lc.Commit.Before, lc.Commit.After); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomForestTrain measures forest training on the small lab's
+// labeled data.
+func BenchmarkRandomForestTrain(b *testing.B) {
+	lab := sharedBenchLab(b)
+	ds := &ml.Dataset{}
+	for _, lc := range lab.NVD {
+		ds.Append(lab.Features(lc), ml.Security, "")
+	}
+	for _, lc := range lab.NonSec {
+		ds.Append(lab.Features(lc), ml.NonSecurity, "")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := &tree.Forest{Trees: 30, Seed: 8}
+		if err := rf.Fit(ds.X, ds.Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRNNTrainEpoch measures one epoch of RNN training on 200 token
+// sequences.
+func BenchmarkRNNTrainEpoch(b *testing.B) {
+	lab := sharedBenchLab(b)
+	var seqs [][]string
+	var ys []int
+	for _, lc := range lab.NVD[:100] {
+		seqs = append(seqs, features.TokenSequence(lc.Commit.Patch()))
+		ys = append(ys, ml.Security)
+	}
+	for _, lc := range lab.NonSec[:100] {
+		seqs = append(seqs, features.TokenSequence(lc.Commit.Patch()))
+		ys = append(ys, ml.NonSecurity)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rnn := &neural.RNN{Epochs: 1, Seed: 9}
+		if err := rnn.FitTokens(seqs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorpusGeneration measures synthetic commit generation.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	gen := corpus.NewGenerator(corpus.Config{Seed: 10})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gen.GenerateWild(10)
+	}
+}
+
+// BenchmarkCategorize measures the rule-based pattern categorizer.
+func BenchmarkCategorize(b *testing.B) {
+	p := benchPatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CategorizePatch(p)
+	}
+}
+
+// BenchmarkAblationOracleNoise measures how annotator mistakes degrade the
+// augmentation loop: the verified-security ratio and the label purity of the
+// resulting wild dataset under increasing per-annotator error rates (the
+// paper relies on three cross-checking experts; this quantifies why).
+func BenchmarkAblationOracleNoise(b *testing.B) {
+	lab := sharedBenchLab(b)
+	seedX := lab.FeatureRows(lab.NVD)
+	pool := lab.Items(lab.SetI)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var report []string
+		for _, errRate := range []float64{0, 0.1, 0.3} {
+			noisy := oracle.New(labLabels(lab, pool), oracle.WithErrorRate(errRate), oracle.WithSeed(7))
+			res, err := augment.Run(seedX, pool, noisy, 1, augment.Config{MaxRounds: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Purity: how many oracle-accepted candidates are truly security.
+			truePos := 0
+			for _, id := range res.SecurityIDs {
+				if lc, ok := lab.Lookup(id); ok && lc.Security {
+					truePos++
+				}
+			}
+			purity := 0.0
+			if len(res.SecurityIDs) > 0 {
+				purity = float64(truePos) / float64(len(res.SecurityIDs))
+			}
+			report = append(report, fmt.Sprintf("err=%.1f ratio=%.0f%% purity=%.0f%%",
+				errRate, 100*res.Rounds[0].Ratio, 100*purity))
+		}
+		if i == 0 {
+			b.Log(strings.Join(report, "; "))
+		}
+	}
+}
+
+// labLabels extracts ground-truth labels for a pool from the lab.
+func labLabels(lab *experiments.Lab, pool []augment.Item) map[string]bool {
+	out := make(map[string]bool, len(pool))
+	for _, it := range pool {
+		if lc, ok := lab.Lookup(it.ID); ok {
+			out[it.ID] = lc.Security
+		}
+	}
+	return out
+}

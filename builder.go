@@ -1,0 +1,235 @@
+package patchdb
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"patchdb/internal/core/augment"
+	"patchdb/internal/core/oversample"
+	"patchdb/internal/corpus"
+	"patchdb/internal/diff"
+	"patchdb/internal/features"
+	"patchdb/internal/nvd"
+	"patchdb/internal/oracle"
+)
+
+// BuilderConfig parameterizes an end-to-end PatchDB construction run.
+type BuilderConfig struct {
+	// Seed drives all randomness (corpus, augmentation, synthesis).
+	Seed int64
+	// NVDSize is the number of NVD-indexed security patches (paper: 4076).
+	NVDSize int
+	// NonSecuritySize is the initial cleaned non-security set (paper: 8352).
+	NonSecuritySize int
+	// WildPools are the unlabeled pool sizes searched in sequence
+	// (paper: 100K, 200K, 200K).
+	WildPools []int
+	// RoundsPerPool bounds rounds per pool (paper: 3, 1, 1). Must have the
+	// same length as WildPools.
+	RoundsPerPool []int
+	// SyntheticPerPatch caps synthetic variants per natural patch
+	// (0 disables synthesis).
+	SyntheticPerPatch int
+	// FeedNoise adds CVE entries without usable patch links, modeling the
+	// NVD's incomplete references (default 0.1 of NVDSize).
+	FeedNoise float64
+}
+
+func (c BuilderConfig) withDefaults() BuilderConfig {
+	if c.NVDSize <= 0 {
+		c.NVDSize = 400
+	}
+	if c.NonSecuritySize <= 0 {
+		c.NonSecuritySize = 2 * c.NVDSize
+	}
+	if len(c.WildPools) == 0 {
+		c.WildPools = []int{8000, 16000, 16000}
+		c.RoundsPerPool = []int{3, 1, 1}
+	}
+	if len(c.RoundsPerPool) != len(c.WildPools) {
+		c.RoundsPerPool = make([]int, len(c.WildPools))
+		for i := range c.RoundsPerPool {
+			c.RoundsPerPool[i] = 1
+		}
+		c.RoundsPerPool[0] = 3
+	}
+	if c.FeedNoise <= 0 {
+		c.FeedNoise = 0.1
+	}
+	return c
+}
+
+// BuildReport records what happened during a Build.
+type BuildReport struct {
+	// Crawl summarizes the NVD crawl.
+	Crawl nvd.CrawlStats
+	// Rounds is the per-round augmentation accounting (Table II).
+	Rounds []AugmentRound
+	// HumanVerifications counts simulated manual inspections.
+	HumanVerifications int
+}
+
+// Build runs the full PatchDB pipeline against a simulated world: it
+// generates the corpus (repositories + commits), serves an NVD feed over
+// loopback HTTP, crawls it, augments the dataset with nearest link search
+// and (simulated) human verification, and synthesizes patch variants.
+//
+// The returned dataset mirrors the paper's structure: NVD-based, wild-based,
+// cleaned non-security, and synthetic components.
+func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 9000))
+
+	gen := corpus.NewGenerator(corpus.Config{Seed: cfg.Seed})
+	nvdCommits := gen.GenerateNVD(cfg.NVDSize)
+	nonSec := gen.GenerateNonSecurity(cfg.NonSecuritySize)
+	pools := make([][]*corpus.LabeledCommit, len(cfg.WildPools))
+	for i, n := range cfg.WildPools {
+		pools[i] = gen.GenerateWild(n)
+	}
+
+	// Ground-truth labels for the verification oracle.
+	labels := make(map[string]bool)
+	byHash := make(map[string]*corpus.LabeledCommit)
+	for _, set := range append([][]*corpus.LabeledCommit{nvdCommits, nonSec}, pools...) {
+		for _, lc := range set {
+			labels[lc.Commit.Hash] = lc.Security
+			byHash[lc.Commit.Hash] = lc
+		}
+	}
+	verifier := oracle.New(labels, oracle.WithSeed(cfg.Seed))
+
+	// Serve the NVD and crawl it, exercising the real HTTP code path.
+	svc := nvd.NewService(gen.Store())
+	baseURL, err := svc.Start()
+	if err != nil {
+		return nil, nil, fmt.Errorf("build: %w", err)
+	}
+	defer svc.Close()
+	for _, lc := range nvdCommits {
+		svc.AddEntry(nvd.Entry{
+			ID:          lc.CVE,
+			Description: lc.Commit.Message,
+			Published:   lc.Commit.Date,
+			Severity:    pickSeverity(rng),
+			References: []nvd.Reference{{
+				URL:  nvd.GitHubCommitURL(baseURL, lc.Commit.Repo, lc.Commit.Hash),
+				Tags: []string{"Patch", "Third Party Advisory"},
+			}},
+		})
+	}
+	// Entries with no usable patch link (the NVD's missing references).
+	for i := 0; i < int(float64(cfg.NVDSize)*cfg.FeedNoise); i++ {
+		svc.AddEntry(nvd.Entry{
+			ID:          fmt.Sprintf("CVE-%d-%05d", 2002+rng.Intn(18), 90000+i),
+			Description: "vulnerability without patch reference",
+			References: []nvd.Reference{{
+				URL:  "https://advisories.example.com/a/" + fmt.Sprint(i),
+				Tags: []string{"Vendor Advisory"},
+			}},
+		})
+	}
+	crawler := &nvd.Crawler{BaseURL: baseURL}
+	crawled, crawlStats, err := crawler.Crawl(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("build: crawl: %w", err)
+	}
+
+	report := &BuildReport{Crawl: crawlStats}
+	ds := &Dataset{}
+
+	// NVD-based dataset from the crawled patches.
+	seedFeatures := make([][]float64, 0, len(crawled))
+	for _, cp := range crawled {
+		lc, ok := byHash[cp.Hash]
+		if !ok {
+			continue
+		}
+		ds.NVD = append(ds.NVD, Record{
+			ID: cp.Hash, Repo: cp.Repo, CVE: cp.CVE, Security: true,
+			Pattern: lc.Pattern, Source: "nvd", Text: diff.Format(cp.Patch),
+		})
+		seedFeatures = append(seedFeatures, features.Extract(cp.Patch, 0))
+	}
+
+	// Initial cleaned non-security dataset.
+	for _, lc := range nonSec {
+		ds.NonSecurity = append(ds.NonSecurity, Record{
+			ID: lc.Commit.Hash, Repo: lc.Commit.Repo, Security: false,
+			Source: "wild", Text: diff.Format(lc.Commit.Patch()),
+		})
+	}
+
+	// Wild-based dataset via augmentation rounds.
+	round := 1
+	for i, pool := range pools {
+		items := make([]augment.Item, len(pool))
+		for j, lc := range pool {
+			items[j] = augment.Item{ID: lc.Commit.Hash, Features: features.Extract(lc.Commit.Patch(), 0)}
+		}
+		res, err := augment.Run(seedFeatures, items, verifier, round, augment.Config{
+			MaxRounds:      cfg.RoundsPerPool[i],
+			RatioThreshold: 0.01,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("build: %w", err)
+		}
+		report.Rounds = append(report.Rounds, res.Rounds...)
+		round += len(res.Rounds)
+		seedFeatures = res.SeedFeatures
+		for _, id := range res.SecurityIDs {
+			lc := byHash[id]
+			ds.Wild = append(ds.Wild, Record{
+				ID: id, Repo: lc.Commit.Repo, Security: true,
+				Pattern: lc.Pattern, Source: "wild", Text: diff.Format(lc.Commit.Patch()),
+			})
+		}
+		for _, id := range res.NonSecurityIDs {
+			lc := byHash[id]
+			ds.NonSecurity = append(ds.NonSecurity, Record{
+				ID: id, Repo: lc.Commit.Repo, Security: false,
+				Source: "wild", Text: diff.Format(lc.Commit.Patch()),
+			})
+		}
+	}
+	report.HumanVerifications = verifier.Inspected()
+
+	// Synthetic dataset via source-level oversampling.
+	if cfg.SyntheticPerPatch > 0 {
+		ov := &oversample.Oversampler{MaxPerPatch: cfg.SyntheticPerPatch, Rand: rng}
+		synthesize := func(recs []Record, security bool) error {
+			for _, r := range recs {
+				lc, ok := byHash[r.ID]
+				if !ok {
+					continue
+				}
+				syns, err := ov.Synthesize(lc.Commit.Hash, lc.Commit.Before, lc.Commit.After)
+				if err != nil {
+					return fmt.Errorf("build: synthesize %s: %w", r.ID, err)
+				}
+				for _, s := range syns {
+					ds.Synthetic = append(ds.Synthetic, Record{
+						ID: s.Patch.Commit, Repo: r.Repo, Security: security,
+						Pattern: r.Pattern, Source: "synthetic", Text: diff.Format(s.Patch),
+					})
+				}
+			}
+			return nil
+		}
+		if err := synthesize(ds.NVD, true); err != nil {
+			return nil, nil, err
+		}
+		if err := synthesize(ds.Wild, true); err != nil {
+			return nil, nil, err
+		}
+		if err := synthesize(ds.NonSecurity, false); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ds, report, nil
+}
+
+func pickSeverity(rng *rand.Rand) string {
+	return []string{"LOW", "MEDIUM", "HIGH", "CRITICAL"}[rng.Intn(4)]
+}

@@ -1,0 +1,92 @@
+// Command patchdb-bench reproduces every data-bearing table and figure of
+// the PatchDB paper and prints them in the paper's layout.
+//
+// Usage:
+//
+//	patchdb-bench                 # all experiments at the default scale
+//	patchdb-bench -scale small    # fast run
+//	patchdb-bench -scale paper    # the paper's dataset sizes (slow)
+//	patchdb-bench -only II,III    # a subset of experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"patchdb/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "patchdb-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scaleName = flag.String("scale", "default", "experiment scale: small, default, or paper")
+		only      = flag.String("only", "", "comma-separated experiment ids (II,III,IV,V,VI,VII,F6); empty = all")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.SmallScale
+	case "default":
+		scale = experiments.DefaultScale
+	case "paper":
+		scale = experiments.PaperScale
+	default:
+		return fmt.Errorf("unknown scale %q (want small, default, or paper)", *scaleName)
+	}
+	scale.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	fmt.Printf("PatchDB experiment harness — scale %s (seed %d)\n\n", scale.Name, scale.Seed)
+	start := time.Now()
+	lab := experiments.NewLab(scale)
+	fmt.Printf("corpus: %d NVD + %d non-security + %d/%d/%d wild commits (%.1fs)\n\n",
+		len(lab.NVD), len(lab.NonSec), len(lab.SetI), len(lab.SetII), len(lab.SetIII),
+		time.Since(start).Seconds())
+
+	type experiment struct {
+		id  string
+		run func() (fmt.Stringer, error)
+	}
+	all := []experiment{
+		{"II", func() (fmt.Stringer, error) { return lab.RunTableII() }},
+		{"III", func() (fmt.Stringer, error) { return lab.RunTableIII() }},
+		{"IV", func() (fmt.Stringer, error) { return lab.RunTableIV() }},
+		{"V", func() (fmt.Stringer, error) { return lab.RunTableV() }},
+		{"F6", func() (fmt.Stringer, error) { return lab.RunFigure6() }},
+		{"VI", func() (fmt.Stringer, error) { return lab.RunTableVI() }},
+		{"VII", func() (fmt.Stringer, error) { return lab.RunTableVII() }},
+	}
+	for _, e := range all {
+		if !selected(e.id) {
+			continue
+		}
+		t0 := time.Now()
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.id, err)
+		}
+		fmt.Println(res)
+		fmt.Printf("[%s took %.1fs]\n\n", e.id, time.Since(t0).Seconds())
+	}
+	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+	return nil
+}

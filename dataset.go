@@ -1,0 +1,126 @@
+package patchdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Record is one patch in a PatchDB dataset.
+type Record struct {
+	// ID is the commit hash.
+	ID string `json:"id"`
+	// Repo is the owning repository.
+	Repo string `json:"repo"`
+	// CVE is the CVE identifier for NVD-indexed patches ("" otherwise).
+	CVE string `json:"cve,omitempty"`
+	// Security is the verified label.
+	Security bool `json:"security"`
+	// Pattern is the pattern class for security patches (0 otherwise).
+	Pattern Pattern `json:"pattern,omitempty"`
+	// Source records provenance: "nvd", "wild", or "synthetic".
+	Source string `json:"source"`
+	// Text is the git patch text.
+	Text string `json:"text"`
+}
+
+// Patch parses the record's patch text.
+func (r *Record) Patch() (*Patch, error) { return ParsePatch(r.Text) }
+
+// Dataset is an assembled PatchDB: NVD-based, wild-based, cleaned
+// non-security, and synthetic components.
+type Dataset struct {
+	// NVD holds NVD-indexed security patches.
+	NVD []Record `json:"nvd"`
+	// Wild holds silent security patches discovered in the wild.
+	Wild []Record `json:"wild"`
+	// NonSecurity holds the cleaned non-security patches.
+	NonSecurity []Record `json:"non_security"`
+	// Synthetic holds oversampled artificial patches.
+	Synthetic []Record `json:"synthetic"`
+}
+
+// Stats summarizes dataset sizes.
+type Stats struct {
+	NVD         int `json:"nvd"`
+	Wild        int `json:"wild"`
+	NonSecurity int `json:"non_security"`
+	Synthetic   int `json:"synthetic"`
+}
+
+// Stats returns the component sizes.
+func (d *Dataset) Stats() Stats {
+	return Stats{
+		NVD:         len(d.NVD),
+		Wild:        len(d.Wild),
+		NonSecurity: len(d.NonSecurity),
+		Synthetic:   len(d.Synthetic),
+	}
+}
+
+// SecurityPatches returns NVD and wild security records combined (the
+// "natural" security patches).
+func (d *Dataset) SecurityPatches() []Record {
+	out := make([]Record, 0, len(d.NVD)+len(d.Wild))
+	out = append(out, d.NVD...)
+	out = append(out, d.Wild...)
+	return out
+}
+
+// WriteJSON serializes the dataset.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("encode dataset: %w", err)
+	}
+	return nil
+}
+
+// SaveJSON writes the dataset to a file.
+func (d *Dataset) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save dataset: %w", err)
+	}
+	defer f.Close()
+	if err := d.WriteJSON(f); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("save dataset: %w", err)
+	}
+	return nil
+}
+
+// LoadDataset reads a dataset from JSON.
+func LoadDataset(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("decode dataset: %w", err)
+	}
+	return &d, nil
+}
+
+// LoadDatasetFile reads a dataset from a JSON file.
+func LoadDatasetFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load dataset: %w", err)
+	}
+	defer f.Close()
+	return LoadDataset(f)
+}
+
+// Distribution counts the security patches of the dataset per pattern
+// class, Table V style.
+func (d *Dataset) Distribution() map[Pattern]int {
+	out := make(map[Pattern]int, NumPatterns)
+	for _, r := range d.SecurityPatches() {
+		if r.Pattern != 0 {
+			out[r.Pattern]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package patchdb_test
+
+import (
+	"fmt"
+	"strings"
+
+	"patchdb"
+)
+
+// ExampleParsePatch parses a git patch and inspects its structure.
+func ExampleParsePatch() {
+	text := "commit abc1234\n" +
+		"diff --git a/f.c b/f.c\n--- a/f.c\n+++ b/f.c\n" +
+		"@@ -1,3 +1,4 @@ int f(int len)\n" +
+		" int f(int len) {\n" +
+		"+\tif (len < 0) return -1;\n" +
+		" \tuse(len);\n" +
+		" }\n"
+	p, err := patchdb.ParsePatch(text)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(p.Commit, len(p.Files), "file(s)", len(p.HunkList()), "hunk(s)")
+	fmt.Println("added:", strings.TrimSpace(p.AddedLines()[0]))
+	// Output:
+	// abc1234 1 file(s) 1 hunk(s)
+	// added: if (len < 0) return -1;
+}
+
+// ExampleAbstractTokens shows the token abstraction used by the Levenshtein
+// features and the RNN.
+func ExampleAbstractTokens() {
+	fmt.Println(strings.Join(patchdb.AbstractTokens(`if (len > 64) copy(dst, "x");`), " "))
+	// Output:
+	// if ( VAR > NUM ) FUNC ( VAR , STR ) ;
+}
+
+// ExampleNearestLink runs Algorithm 1 on a toy feature space.
+func ExampleNearestLink() {
+	security := [][]float64{{0, 0}, {10, 10}}
+	wild := [][]float64{{9, 10}, {90, 90}, {1, 0}}
+	links, err := patchdb.NearestLink(security, wild, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, l := range links {
+		fmt.Printf("security %d -> wild %d\n", l.Security, l.Wild)
+	}
+	// Output:
+	// security 0 -> wild 2
+	// security 1 -> wild 0
+}
+
+// ExampleApplyVariant applies one Fig. 5 control-flow template to an if
+// statement.
+func ExampleApplyVariant() {
+	src := "int f(int a)\n{\n\tif (a > 0)\n\t\treturn 1;\n\treturn 0;\n}\n"
+	file, err := patchdb.ParseC(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	out, err := patchdb.ApplyVariant(src, file.IfStmts()[0], patchdb.VariantZeroOr)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(out)
+	// Output:
+	// int f(int a)
+	// {
+	// 	const int _SYS_ZERO = 0;
+	// 	if (_SYS_ZERO || (a > 0))
+	// 		return 1;
+	// 	return 0;
+	// }
+}
+
+// ExampleCategorizePatch assigns a Table V pattern class.
+func ExampleCategorizePatch() {
+	text := "commit fee1dead\n" +
+		"diff --git a/f.c b/f.c\n--- a/f.c\n+++ b/f.c\n" +
+		"@@ -1,2 +1,4 @@\n" +
+		" \tstruct s *p = get(id);\n" +
+		"+\tif (p == NULL)\n" +
+		"+\t\treturn -1;\n" +
+		" \tp->refs++;\n"
+	p, err := patchdb.ParsePatch(text)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(patchdb.CategorizePatch(p))
+	// Output:
+	// add or change null checks
+}

@@ -1,0 +1,49 @@
+// Augmentation example: build a small simulated world end-to-end with
+// patchdb.Build — crawl the NVD feed, run nearest-link augmentation rounds
+// with simulated expert verification, synthesize variants — then compare the
+// nearest-link hit ratio against brute-force screening.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"patchdb"
+)
+
+func main() {
+	ds, report, err := patchdb.Build(context.Background(), patchdb.BuilderConfig{
+		Seed:              7,
+		NVDSize:           150,
+		NonSecuritySize:   300,
+		WildPools:         []int{3000, 4000},
+		RoundsPerPool:     []int{2, 1},
+		SyntheticPerPatch: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("NVD crawl: %d CVE entries, %d with patch links, %d patches downloaded\n",
+		report.Crawl.Entries, report.Crawl.WithPatchRefs, report.Crawl.Downloaded)
+	fmt.Println("\naugmentation rounds (cf. paper Table II):")
+	totalCand, totalSec := 0, 0
+	for _, r := range report.Rounds {
+		fmt.Printf("  %v\n", r)
+		totalCand += r.Candidates
+		totalSec += r.Verified
+	}
+
+	stats := ds.Stats()
+	fmt.Printf("\ndataset: %d NVD + %d wild security, %d non-security, %d synthetic\n",
+		stats.NVD, stats.Wild, stats.NonSecurity, stats.Synthetic)
+
+	// Compare with brute force: screening the whole wild would inspect every
+	// commit for a 6-10%% hit rate; nearest link inspected far fewer.
+	ratio := float64(totalSec) / float64(totalCand)
+	fmt.Printf("\nnearest link: %d/%d candidates verified as security (%.0f%%)\n",
+		totalSec, totalCand, 100*ratio)
+	fmt.Printf("human verifications spent: %d (brute force would need the full pools)\n",
+		report.HumanVerifications)
+}

@@ -1,0 +1,61 @@
+// Oversampling example: apply the eight control-flow variant templates of
+// the paper's Fig. 5 to a patched if statement and print the resulting
+// synthetic patches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"patchdb"
+)
+
+// A tiny "repository": one file before and after a security fix that adds a
+// bound check (the kind of patch ~70% of security fixes resemble).
+var (
+	before = map[string]string{"src/copy.c": `#include <string.h>
+
+int copy_frame(char *dst, const char *src, int len)
+{
+	int ret = 0;
+	memcpy(dst, src, len);
+	ret = len;
+	return ret;
+}
+`}
+	after = map[string]string{"src/copy.c": `#include <string.h>
+
+int copy_frame(char *dst, const char *src, int len)
+{
+	int ret = 0;
+	if (len < 0 || len > 4096)
+		return -1;
+	memcpy(dst, src, len);
+	ret = len;
+	return ret;
+}
+`}
+)
+
+func main() {
+	// The natural patch.
+	natural := patchdb.ComputePatch("abc123", "fix out-of-bounds copy", before, after, 3)
+	fmt.Println("NATURAL PATCH:")
+	fmt.Println(patchdb.FormatPatch(natural))
+
+	// Generate every (variant, side) synthetic patch for it.
+	ov := &patchdb.Oversampler{}
+	syns, err := ov.Synthesize("abc123", before, after)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d synthetic patches (8 templates x before/after sides)\n\n", len(syns))
+
+	for _, s := range syns {
+		if s.Side != patchdb.ModifyAfter {
+			continue // print the AFTER-side variants; BEFORE-side are symmetric
+		}
+		fmt.Printf("--- variant %v (if at line %d) ---\n", s.Variant, s.Line)
+		fmt.Println(patchdb.FormatPatch(s.Patch))
+	}
+}

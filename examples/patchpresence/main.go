@@ -1,0 +1,110 @@
+// Patch presence example (paper Sec. V-A-1): build vulnerability signatures
+// from a constructed dataset's security patches and use them to audit a
+// downstream codebase — detecting vulnerable clones and confirming patched
+// code, then mine Table VII-style fix patterns from the same dataset.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"patchdb"
+)
+
+func main() {
+	// Build a small PatchDB.
+	ds, _, err := patchdb.Build(context.Background(), patchdb.BuilderConfig{
+		Seed:            19,
+		NVDSize:         120,
+		NonSecuritySize: 240,
+		WildPools:       []int{1500},
+		RoundsPerPool:   []int{1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate signatures from every security patch that can be
+	// fingerprinted.
+	var sigs []*patchdb.VulnSignature
+	rejected := 0
+	for _, r := range ds.SecurityPatches() {
+		p, err := r.Patch()
+		if err != nil {
+			continue
+		}
+		sig, err := patchdb.GenerateSignature(p, r.CVE, patchdb.SignatureOptions{})
+		if err != nil {
+			rejected++ // too small or abstraction-invariant
+			continue
+		}
+		sigs = append(sigs, sig)
+	}
+	fmt.Printf("signatures: %d generated, %d patches rejected as unfingerprintable\n",
+		len(sigs), rejected)
+
+	// "Downstream codebase": a vendored copy of code fixed by the first
+	// usable signature — we reconstruct its pre-patch version from the
+	// dataset record and scan it.
+	matcher := patchdb.NewSignatureMatcher(sigs)
+	// The synthetic corpus contains many near-clone functions, so a strict
+	// containment threshold keeps cross-matches down (real-world signature
+	// systems face the same tradeoff).
+	matcher.Threshold = 0.95
+	target := vulnerableSnapshot(ds)
+	if target == "" {
+		log.Fatal("no reconstructable target found")
+	}
+	vulnerable, patched := matcher.Scan(target)
+	fmt.Printf("\nscanning downstream code (%d bytes):\n", len(target))
+	for _, sig := range vulnerable {
+		fmt.Printf("  VULNERABLE to %s (patch %.8s not applied)\n", orUnindexed(sig.CVE), sig.ID)
+	}
+	fmt.Printf("  (%d signatures matched as already patched, %d total checked)\n",
+		len(patched), matcher.Len())
+
+	// Mine fix patterns from the dataset (Sec. V-A-2).
+	templates, err := patchdb.MineDatasetFixPatterns(ds, patchdb.FixPatternMiner{MinSupport: 5, TopK: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(patchdb.RenderFixPatterns(templates))
+}
+
+// vulnerableSnapshot reconstructs a pre-patch file from a dataset record by
+// reverse-applying its patch conceptually: here we simply re-derive the
+// before-version text from the patch hunks.
+func vulnerableSnapshot(ds *patchdb.Dataset) string {
+	for _, r := range ds.NVD {
+		p, err := r.Patch()
+		if err != nil || len(p.Files) == 0 {
+			continue
+		}
+		var out []string
+		for _, h := range p.Files[0].Hunks {
+			for _, ln := range h.Lines {
+				// Context + removed lines reconstruct the before version.
+				if ln.Kind != patchdb.LineAdded {
+					out = append(out, ln.Text)
+				}
+			}
+		}
+		if len(out) > 5 {
+			text := ""
+			for _, ln := range out {
+				text += ln + "\n"
+			}
+			return text
+		}
+	}
+	return ""
+}
+
+func orUnindexed(cve string) string {
+	if cve == "" {
+		return "a silent (unindexed) vulnerability"
+	}
+	return cve
+}

@@ -1,0 +1,68 @@
+// Quickstart: parse a security patch (the paper's Listing 1,
+// CVE-2019-20912), extract its Table I feature vector, inspect its token
+// stream, and categorize its fix pattern.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"patchdb"
+)
+
+// listing1 is the stack-underflow fix of CVE-2019-20912 shown in the
+// paper's Listing 1.
+const listing1 = `commit b84c2cab55948a5ee70860779b2640913e3ee1ed
+
+    fix stack underflow in bit_write_UMC
+
+diff --git a/src/bits.c b/src/bits.c
+index 014b04fe4..a3692bdc6 100644
+--- a/src/bits.c
++++ b/src/bits.c
+@@ -953,7 +953,7 @@ bit_write_UMC (Bit_Chain *dat, BITCODE_UMC val)
+       if (byte[i] & 0x7f)
+         break;
+     }
+-  if (byte[i] & 0x40)
++  if (byte[i] & 0x40 && i > 0)
+     byte[i] &= 0x7f;
+   for (j = 4; j >= i; j--)
+     {
+`
+
+func main() {
+	patch, err := patchdb.ParsePatch(listing1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("commit  %s\n", patch.Commit)
+	fmt.Printf("files   %d, hunks %d\n", len(patch.Files), len(patch.HunkList()))
+	fmt.Printf("message %q\n\n", patch.Message)
+
+	// The 60-dimensional syntactic feature vector of Table I.
+	vec := patchdb.ExtractFeatures(patch, 0)
+	names := patchdb.FeatureNames()
+	fmt.Println("non-zero features:")
+	for i, v := range vec {
+		if v != 0 {
+			fmt.Printf("  %-22s %6.2f\n", names[i], v)
+		}
+	}
+
+	// The abstracted token stream the RNN classifier consumes.
+	seq := patchdb.TokenSequence(patch)
+	fmt.Printf("\ntoken stream (%d tokens): %s ...\n",
+		len(seq), strings.Join(seq[:min(18, len(seq))], " "))
+
+	// Rule-based pattern categorization (Table V taxonomy).
+	fmt.Printf("\npattern: %v\n", patchdb.CategorizePatch(patch))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

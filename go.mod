@@ -1,0 +1,3 @@
+module patchdb
+
+go 1.24

@@ -1,0 +1,284 @@
+package cast
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `#include <string.h>
+
+struct pkt_state {
+	int flags;
+	struct pkt_state *next;
+};
+
+static int transform(int value, int scale)
+{
+	return (value * scale) % 7;
+}
+
+static int process_pkt(struct pkt_state *ctx, char *buf, int len)
+{
+	int i;
+	int ret = 0;
+	char tmp[64];
+
+	if (len < 0 || len > 4096)
+		return -1;
+
+	for (i = 0; i < len; i++) {
+		buf[i] = transform(buf[i], ctx->flags);
+		if (buf[i] == 0)
+			continue;
+		ret += buf[i] & 0xff;
+	}
+
+	if (ctx->flags & 0x4) {
+		ret = transform(ret, 2);
+	} else {
+		ret = 0;
+	}
+
+	memcpy(tmp, buf, len);
+	return ret;
+}
+`
+
+func TestParseFunctions(t *testing.T) {
+	f, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(f.Funcs))
+	}
+	if f.Funcs[0].Name != "transform" || f.Funcs[1].Name != "process_pkt" {
+		t.Errorf("names = %q %q", f.Funcs[0].Name, f.Funcs[1].Name)
+	}
+	// The struct declaration parses as a top-level statement.
+	if len(f.TopLevel) == 0 {
+		t.Error("no top-level statements for the struct")
+	}
+}
+
+func TestIfStmtSpans(t *testing.T) {
+	f, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := f.IfStmts()
+	if len(ifs) != 3 {
+		t.Fatalf("if statements = %d, want 3", len(ifs))
+	}
+	lines := strings.Split(sampleSrc, "\n")
+	for _, s := range ifs {
+		lo, hi := s.Span()
+		if lo < 1 || hi < lo || hi > len(lines) {
+			t.Errorf("bad span %d-%d", lo, hi)
+		}
+		if !strings.Contains(lines[lo-1], "if") {
+			t.Errorf("span start line %d does not contain `if`: %q", lo, lines[lo-1])
+		}
+	}
+	// The first if has a multi-clause condition.
+	if !strings.Contains(ifs[0].CondText, "||") {
+		t.Errorf("first cond = %q", ifs[0].CondText)
+	}
+	// The second if is nested in the loop.
+	if ifs[1].CondText != "buf[i] == 0" {
+		t.Errorf("second cond = %q", ifs[1].CondText)
+	}
+	// The third if carries an else.
+	if ifs[2].Else == nil {
+		t.Error("third if lost its else branch")
+	}
+}
+
+func TestCondOffsets(t *testing.T) {
+	f, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.IfStmts() {
+		if sampleSrc[s.CondOpen] != '(' || sampleSrc[s.CondClose] != ')' {
+			t.Errorf("cond offsets do not point at parens: %q %q",
+				sampleSrc[s.CondOpen], sampleSrc[s.CondClose])
+		}
+		if got := sampleSrc[s.CondOpen+1 : s.CondClose]; got != s.CondText {
+			t.Errorf("CondText mismatch: %q vs %q", got, s.CondText)
+		}
+		if !strings.HasPrefix(sampleSrc[s.KwOffset:], "if") {
+			t.Errorf("KwOffset does not point at `if`")
+		}
+	}
+}
+
+func TestIfStmtsInLines(t *testing.T) {
+	f, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := f.IfStmts()
+	first, _ := all[0].Span()
+	got := f.IfStmtsInLines(first, first)
+	if len(got) != 1 || got[0] != all[0] {
+		t.Errorf("IfStmtsInLines(%d,%d) = %d stmts", first, first, len(got))
+	}
+	if got := f.IfStmtsInLines(1, 5); len(got) != 0 {
+		t.Errorf("no ifs expected in header lines, got %d", len(got))
+	}
+	if got := f.IfStmtsInLines(1, 1000); len(got) != 3 {
+		t.Errorf("full range ifs = %d", len(got))
+	}
+}
+
+func TestParseLoops(t *testing.T) {
+	src := `int f(int n)
+{
+	int s = 0;
+	while (n > 0) {
+		n--;
+	}
+	do {
+		s++;
+	} while (s < 10);
+	for (;;)
+		break;
+	return s;
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(f.Funcs))
+	}
+	loops := 0
+	for _, st := range f.Funcs[0].Body.Stmts {
+		if _, ok := st.(*LoopStmt); ok {
+			loops++
+		}
+	}
+	if loops != 3 {
+		t.Errorf("loops = %d, want 3", loops)
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	src := `int f(int n)
+{
+	switch (n) {
+	case 0:
+		return 1;
+	default:
+		break;
+	}
+	return 0;
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, st := range f.Funcs[0].Body.Stmts {
+		if _, ok := st.(*SwitchStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("switch statement not parsed")
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	src := `int f(int n)
+{
+	if (n == 0) {
+		return 0;
+	} else if (n == 1) {
+		return 1;
+	} else {
+		return 2;
+	}
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := f.IfStmts()
+	if len(ifs) != 2 {
+		t.Fatalf("ifs = %d, want 2 (chained else-if)", len(ifs))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unterminated block", "int f(int x)\n{\n\treturn x;\n"},
+		{"unbalanced if", "int f(int x)\n{\n\tif (x {\n\t\treturn 1;\n\t}\n}\n"},
+		{"missing semicolon", "int f(int x)\n{\n\treturn x\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Error("Parse succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestParseTolerant(t *testing.T) {
+	// Unusual-but-balanced constructs must not fail.
+	srcs := []string{
+		"typedef unsigned long ulong_t;\n",
+		"int g;\n",
+		"struct s { int a; };\n",
+		"static inline struct foo *get_foo(struct bar *b)\n{\n\treturn b->foo;\n}\n",
+		"custom_t helper(int x)\n{\n\treturn (custom_t)x;\n}\n",
+		"", // empty file
+	}
+	for _, src := range srcs {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestNestedIfDiscovery(t *testing.T) {
+	src := `int f(int a, int b)
+{
+	if (a) {
+		if (b) {
+			if (a > b)
+				return 1;
+		}
+	}
+	return 0;
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.IfStmts()); got != 3 {
+		t.Errorf("nested ifs = %d, want 3", got)
+	}
+}
+
+func TestFuncSpan(t *testing.T) {
+	f, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.Funcs[1]
+	lo, hi := fn.Span()
+	lines := strings.Split(sampleSrc, "\n")
+	if !strings.Contains(lines[lo-1], "process_pkt") {
+		t.Errorf("func start line %d: %q", lo, lines[lo-1])
+	}
+	if strings.TrimSpace(lines[hi-1]) != "}" {
+		t.Errorf("func end line %d: %q", hi, lines[hi-1])
+	}
+}

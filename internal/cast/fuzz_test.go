@@ -1,0 +1,32 @@
+package cast
+
+import "testing"
+
+// FuzzParse asserts the C parser never panics and that reported spans and
+// condition offsets stay inside the input.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleSrc)
+	f.Add("int f(int x)\n{\n\tif (x) return 1;\n\treturn 0;\n}\n")
+	f.Add("if (((\n")
+	f.Add("struct s { int a; };\n")
+	f.Add("}{)(\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, s := range file.IfStmts() {
+			lo, hi := s.Span()
+			if lo < 0 || hi < lo {
+				t.Fatalf("bad span %d-%d", lo, hi)
+			}
+			if s.CondOpen < 0 || s.CondClose >= len(src)+1 || s.CondClose < s.CondOpen {
+				t.Fatalf("bad cond offsets %d-%d (len %d)", s.CondOpen, s.CondClose, len(src))
+			}
+			if s.CondOpen < len(src) && src[s.CondOpen] != '(' {
+				t.Fatalf("CondOpen not at '('")
+			}
+		}
+	})
+}

@@ -1,0 +1,317 @@
+// Package categorize assigns a security patch to one of the 12 code-change
+// pattern classes of Table V using syntactic rules over its hunks. The paper
+// classifies patches manually; this categorizer reproduces that taxonomy
+// mechanically so composition studies (Table V, Fig. 6) and downstream users
+// can label arbitrary patches.
+package categorize
+
+import (
+	"strings"
+
+	"patchdb/internal/corpus"
+	"patchdb/internal/ctoken"
+	"patchdb/internal/diff"
+)
+
+// evidence aggregates the syntactic signals the rules vote on.
+type evidence struct {
+	addedLines   int
+	removedLines int
+
+	addedIfs     int
+	changedIfs   int // if-lines present on both sides but textually altered
+	boundish     int // conditions comparing sizes/indices or using sizeof
+	nullish      int // conditions testing NULL / !ptr
+	otherCheck   int
+	addedJumps   int
+	addedCalls   int
+	removedCalls int
+	changedSig   int // function signature lines changed
+	paramChange  int // signature change that alters the parameter list
+	declType     int // declaration lines with same variable, new type
+	valueChange  int // declaration/assignment value changes, memset-style zeroing
+	movedLines   int // identical lines removed in one place, added in another
+	callSwaps    int // call replaced by a different callee on the same line shape
+}
+
+// Categorize inspects a patch and returns the most plausible pattern class.
+func Categorize(p *diff.Patch) corpus.Pattern {
+	ev := gather(p)
+
+	total := ev.addedLines + ev.removedLines
+	switch {
+	case ev.movedLines > 0 && ev.movedLines*3 >= total && total > 0:
+		return corpus.PatternMove
+	case total >= 12 || (ev.addedIfs >= 2 && ev.addedCalls >= 2 && total > 8):
+		return corpus.PatternRedesign
+	case ev.addedJumps > 0:
+		// Error-handling fixes pair a small check with the new jump; the
+		// jump is the discriminating signal (paper Type 9).
+		return corpus.PatternJump
+	case ev.nullish > 0 && (ev.addedIfs > 0 || ev.changedIfs > 0):
+		return corpus.PatternNullCheck
+	case ev.boundish > 0 && (ev.addedIfs > 0 || ev.changedIfs > 0):
+		return corpus.PatternBoundCheck
+	case ev.addedIfs > 0 || ev.changedIfs > 0:
+		return corpus.PatternSanityCheck
+	case ev.paramChange > 0:
+		return corpus.PatternFuncParam
+	case ev.changedSig > 0:
+		return corpus.PatternFuncDecl
+	case ev.declType > 0:
+		return corpus.PatternVarDef
+	case ev.valueChange > 0:
+		return corpus.PatternVarValue
+	case ev.callSwaps > 0 || ev.addedCalls > 0 || ev.removedCalls > 0:
+		return corpus.PatternFuncCall
+	default:
+		return corpus.PatternOther
+	}
+}
+
+func gather(p *diff.Patch) evidence {
+	var ev evidence
+	var allAdded, allRemoved []string
+	for _, f := range p.Files {
+		for _, h := range f.Hunks {
+			gatherHunk(h, &ev)
+			allAdded = append(allAdded, h.AddedLines()...)
+			allRemoved = append(allRemoved, h.RemovedLines()...)
+		}
+	}
+	// Patch-level move detection: a statement removed in one hunk and
+	// re-added verbatim in another (gatherHunk only sees same-hunk moves).
+	removedSet := make(map[string]int, len(allRemoved))
+	for _, ln := range allRemoved {
+		removedSet[strings.TrimSpace(ln)]++
+	}
+	moved := 0
+	for _, ln := range allAdded {
+		tr := strings.TrimSpace(ln)
+		if tr != "" && removedSet[tr] > 0 {
+			removedSet[tr]--
+			moved++
+		}
+	}
+	if moved > ev.movedLines {
+		ev.movedLines = moved
+	}
+	return ev
+}
+
+func gatherHunk(h *diff.Hunk, ev *evidence) {
+	added := h.AddedLines()
+	removed := h.RemovedLines()
+	ev.addedLines += len(added)
+	ev.removedLines += len(removed)
+
+	removedSet := make(map[string]int, len(removed))
+	for _, ln := range removed {
+		removedSet[strings.TrimSpace(ln)]++
+	}
+	for _, ln := range added {
+		t := strings.TrimSpace(ln)
+		if removedSet[t] > 0 {
+			removedSet[t]--
+			ev.movedLines++
+		}
+	}
+
+	removedIfConds := condLines(removed)
+	addedIfConds := condLines(added)
+	switch {
+	case len(addedIfConds) > len(removedIfConds):
+		ev.addedIfs += len(addedIfConds) - len(removedIfConds)
+	case len(addedIfConds) > 0 && len(addedIfConds) == len(removedIfConds):
+		for i := range addedIfConds {
+			if addedIfConds[i] != removedIfConds[i] {
+				ev.changedIfs++
+			}
+		}
+	}
+	for _, cond := range addedIfConds {
+		switch classifyCond(cond) {
+		case condBound:
+			ev.boundish++
+		case condNull:
+			ev.nullish++
+		default:
+			ev.otherCheck++
+		}
+	}
+
+	for _, ln := range added {
+		t := strings.TrimSpace(ln)
+		if strings.HasPrefix(t, "goto ") || t == "break;" || t == "continue;" ||
+			strings.HasSuffix(t, ":") && !strings.Contains(t, " ") {
+			ev.addedJumps++
+		}
+	}
+
+	addedCalls, addedSigs := callsAndSigs(added)
+	removedCalls, removedSigs := callsAndSigs(removed)
+	if addedCalls > removedCalls {
+		ev.addedCalls += addedCalls - removedCalls
+	} else {
+		ev.removedCalls += removedCalls - addedCalls
+	}
+	if addedCalls > 0 && addedCalls == removedCalls && len(added) == len(removed) {
+		ev.callSwaps++
+	}
+	if addedSigs > 0 && removedSigs > 0 {
+		ev.changedSig++
+		if paramListChanged(added, removed) {
+			ev.paramChange++
+		}
+	}
+
+	gatherDecls(added, removed, ev)
+}
+
+// condLines extracts the conditions of if/while lines.
+func condLines(lines []string) []string {
+	var out []string
+	for _, ln := range lines {
+		t := strings.TrimSpace(ln)
+		if strings.HasPrefix(t, "if (") || strings.HasPrefix(t, "} else if (") {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+type condKind int
+
+const (
+	condBound condKind = iota + 1
+	condNull
+	condOther
+)
+
+func classifyCond(cond string) condKind {
+	switch {
+	case strings.Contains(cond, "NULL") || strings.Contains(cond, "!"):
+		// `!ptr`-style tests; exclude != which is relational.
+		if strings.Contains(cond, "NULL") || hasBareNegation(cond) {
+			return condNull
+		}
+		return condOther
+	case strings.Contains(cond, "sizeof") ||
+		strings.Contains(cond, "< 0") || strings.Contains(cond, ">= 0"):
+		return condBound
+	case strings.ContainsAny(cond, "<>"):
+		// Size/index comparison against a constant is bound-ish when a
+		// number appears.
+		for _, tok := range ctoken.LexLine(cond) {
+			if tok.Kind == ctoken.Number {
+				return condBound
+			}
+		}
+		return condOther
+	default:
+		return condOther
+	}
+}
+
+func hasBareNegation(cond string) bool {
+	for i := 0; i < len(cond); i++ {
+		if cond[i] == '!' && (i+1 >= len(cond) || cond[i+1] != '=') {
+			return true
+		}
+	}
+	return false
+}
+
+// callsAndSigs counts function-call tokens and definition-like signature
+// lines.
+func callsAndSigs(lines []string) (calls, sigs int) {
+	for _, ln := range lines {
+		toks := ctoken.LexLine(ln)
+		lineCalls := 0
+		for _, t := range toks {
+			if ctoken.IsFunctionCall(t) {
+				lineCalls++
+			}
+		}
+		calls += lineCalls
+		if lineCalls > 0 && len(ln) > 0 && ln[0] != ' ' && ln[0] != '\t' &&
+			!strings.HasSuffix(strings.TrimSpace(ln), ";") {
+			sigs++
+		}
+	}
+	return calls, sigs
+}
+
+func paramListChanged(added, removed []string) bool {
+	a := firstSigParams(added)
+	r := firstSigParams(removed)
+	return a != "" && r != "" && a != r
+}
+
+func firstSigParams(lines []string) string {
+	for _, ln := range lines {
+		if len(ln) == 0 || ln[0] == ' ' || ln[0] == '\t' {
+			continue
+		}
+		open := strings.IndexByte(ln, '(')
+		closeIdx := strings.LastIndexByte(ln, ')')
+		if open >= 0 && closeIdx > open {
+			return ln[open+1 : closeIdx]
+		}
+	}
+	return ""
+}
+
+// gatherDecls detects declaration-type changes and value changes between
+// paired removed/added lines.
+func gatherDecls(added, removed []string, ev *evidence) {
+	declVar := func(ln string) (name, rest string, ok bool) {
+		toks := ctoken.LexLine(ln)
+		if len(toks) < 2 || toks[0].Kind != ctoken.Keyword {
+			return "", "", false
+		}
+		for i := 1; i < len(toks); i++ {
+			if toks[i].Kind == ctoken.Identifier {
+				return toks[i].Text, strings.TrimSpace(ln), true
+			}
+			if toks[i].Kind != ctoken.Keyword && toks[i].Text != "*" {
+				break
+			}
+		}
+		return "", "", false
+	}
+	removedDecls := make(map[string]string)
+	for _, ln := range removed {
+		if name, text, ok := declVar(ln); ok {
+			removedDecls[name] = text
+		}
+	}
+	for _, ln := range added {
+		name, text, ok := declVar(ln)
+		if !ok {
+			if strings.Contains(ln, "memset(") {
+				ev.valueChange++
+			}
+			continue
+		}
+		old, existed := removedDecls[name]
+		if !existed {
+			continue
+		}
+		oldType, oldVal := splitDecl(old)
+		newType, newVal := splitDecl(text)
+		if oldType != newType {
+			ev.declType++
+		} else if oldVal != newVal {
+			ev.valueChange++
+		}
+	}
+}
+
+// splitDecl separates a declaration's type part from its initializer part.
+func splitDecl(decl string) (typePart, valPart string) {
+	if eq := strings.IndexByte(decl, '='); eq >= 0 {
+		return strings.TrimSpace(decl[:eq]), strings.TrimSpace(decl[eq+1:])
+	}
+	return decl, ""
+}

@@ -1,0 +1,194 @@
+package categorize
+
+import (
+	"testing"
+
+	"patchdb/internal/corpus"
+	"patchdb/internal/diff"
+)
+
+func mustParse(t *testing.T, text string) *diff.Patch {
+	t.Helper()
+	p, err := diff.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func patchText(removed, added []string) string {
+	text := "commit 0123456789abcdef\ndiff --git a/f.c b/f.c\n--- a/f.c\n+++ b/f.c\n@@ -1,0 +1,0 @@ int fn(void)\n context\n"
+	for _, l := range removed {
+		text += "-" + l + "\n"
+	}
+	for _, l := range added {
+		text += "+" + l + "\n"
+	}
+	return text + " context\n"
+}
+
+func TestCategorizeHandCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		removed []string
+		added   []string
+		want    corpus.Pattern
+	}{
+		{
+			"bound check added",
+			nil,
+			[]string{"if (len > (int)sizeof(tmp))", "\treturn -1;"},
+			corpus.PatternBoundCheck,
+		},
+		{
+			"null check added",
+			nil,
+			[]string{"if (ptr == NULL)", "\treturn -1;"},
+			corpus.PatternNullCheck,
+		},
+		{
+			"sanity check added",
+			nil,
+			[]string{"if (state->mode == MODE_RAW)", "\treturn 0;"},
+			corpus.PatternSanityCheck,
+		},
+		{
+			"variable type change",
+			[]string{"int idx;"},
+			[]string{"unsigned int idx;"},
+			corpus.PatternVarDef,
+		},
+		{
+			"variable value change",
+			[]string{"int limit = 64;"},
+			[]string{"int limit = 4096;"},
+			corpus.PatternVarValue,
+		},
+		{
+			"memset zeroing",
+			nil,
+			[]string{"memset(buf, 0, sizeof(buf));"},
+			corpus.PatternVarValue,
+		},
+		{
+			"jump added",
+			nil,
+			[]string{"goto fail;"},
+			corpus.PatternJump,
+		},
+		{
+			"call swap",
+			[]string{"\tstrcpy(dst, src);"},
+			[]string{"\tstrlcpy(dst, src, size);"},
+			corpus.PatternFuncCall,
+		},
+		{
+			"call added",
+			nil,
+			[]string{"\trelease_state(ctx);"},
+			corpus.PatternFuncCall,
+		},
+		{
+			"pure move",
+			[]string{"ctx->refs++;"},
+			[]string{"ctx->refs++;"},
+			corpus.PatternMove,
+		},
+		{
+			"signature change",
+			[]string{"static int fn(struct s *p)"},
+			[]string{"static long fn(struct s *p)"},
+			corpus.PatternFuncDecl,
+		},
+		{
+			"parameter change",
+			[]string{"static int fn(struct s *p)"},
+			[]string{"static int fn(struct s *p, int cap)"},
+			corpus.PatternFuncParam,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mustParse(t, patchText(tc.removed, tc.added))
+			if got := Categorize(p); got != tc.want {
+				t.Errorf("Categorize = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCategorizeRedesign(t *testing.T) {
+	var removed, added []string
+	for i := 0; i < 9; i++ {
+		removed = append(removed, "\told_line(i);")
+	}
+	added = append(added,
+		"\tif (count > 0 && ctx->refs < 8) {",
+		"\t\tint step = helper(count, 2);",
+		"\t\twhile (step > 0) {",
+		"\t\t\tstep >>= 1;",
+		"\t\t}",
+		"\t\tret = validate(ret);",
+		"\t}",
+		"\tcommit_state(ctx);",
+	)
+	p := mustParse(t, patchText(removed, added))
+	if got := Categorize(p); got != corpus.PatternRedesign {
+		t.Errorf("Categorize = %v, want redesign", got)
+	}
+}
+
+// TestCategorizerAgreementWithGenerator checks the categorizer recovers the
+// generator's ground-truth class well above chance, and near-perfectly for
+// the syntactically crisp classes.
+func TestCategorizerAgreementWithGenerator(t *testing.T) {
+	g := corpus.NewGenerator(corpus.Config{Seed: 21})
+	perClass := map[corpus.Pattern][2]int{} // hits, total
+	for p := corpus.Pattern(1); int(p) <= corpus.NumPatterns; p++ {
+		for i := 0; i < 25; i++ {
+			lc := g.SecurityCommitOfPattern(p)
+			got := Categorize(lc.Commit.Patch())
+			entry := perClass[p]
+			entry[1]++
+			if got == p {
+				entry[0]++
+			}
+			perClass[p] = entry
+		}
+	}
+	total, hits := 0, 0
+	for p, e := range perClass {
+		total += e[1]
+		hits += e[0]
+		t.Logf("pattern %2d (%s): %d/%d", int(p), p, e[0], e[1])
+	}
+	overall := float64(hits) / float64(total)
+	if overall < 0.45 {
+		t.Errorf("overall agreement = %.2f, want > 0.45 (jitter makes perfect agreement impossible)", overall)
+	}
+	// The crisp classes must be recovered reliably; mixed commits (the
+	// generator's jitter bundles incidental edits) cap what rules can do on
+	// the rest.
+	for _, p := range []corpus.Pattern{
+		corpus.PatternVarDef, corpus.PatternVarValue,
+		corpus.PatternFuncDecl, corpus.PatternFuncCall,
+	} {
+		e := perClass[p]
+		if float64(e[0])/float64(e[1]) < 0.6 {
+			t.Errorf("pattern %v agreement = %d/%d, want >= 60%%", p, e[0], e[1])
+		}
+	}
+	for _, p := range []corpus.Pattern{corpus.PatternJump, corpus.PatternMove} {
+		e := perClass[p]
+		if float64(e[0])/float64(e[1]) < 0.3 {
+			t.Errorf("pattern %v agreement = %d/%d, want >= 30%%", p, e[0], e[1])
+		}
+	}
+}
+
+func TestCategorizeEmptyPatch(t *testing.T) {
+	p := &diff.Patch{Commit: "deadbeef"}
+	if got := Categorize(p); got != corpus.PatternOther {
+		t.Errorf("empty patch = %v, want others", got)
+	}
+}

@@ -1,0 +1,146 @@
+// Package augment drives PatchDB's human-in-the-loop dataset augmentation
+// (Fig. 2): candidate selection by nearest link search, (simulated) manual
+// verification, and the loop judgment that repeats rounds while the security
+// ratio among candidates stays above a threshold. It produces the per-round
+// accounting reported in Table II.
+package augment
+
+import (
+	"errors"
+	"fmt"
+
+	"patchdb/internal/core/nearestlink"
+)
+
+// Item is one unlabeled wild patch in the search pool.
+type Item struct {
+	// ID identifies the underlying commit.
+	ID string
+	// Features is the 60-dim syntactic feature vector.
+	Features []float64
+}
+
+// Verifier is the manual-verification interface; the oracle package
+// implements it by replaying ground truth.
+type Verifier interface {
+	Verify(id string) bool
+}
+
+// Config tunes the augmentation loop.
+type Config struct {
+	// MaxRounds bounds the number of rounds over one pool (default 3, the
+	// paper's Set I schedule).
+	MaxRounds int
+	// RatioThreshold exits the loop when the verified-security ratio of a
+	// round falls below it (default 0.05).
+	RatioThreshold float64
+	// Workers for the nearest link search.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 3
+	}
+	if c.RatioThreshold <= 0 {
+		c.RatioThreshold = 0.05
+	}
+	return c
+}
+
+// Round is the accounting for one augmentation round (one row of Table II).
+type Round struct {
+	Round       int
+	SearchRange int // unlabeled pool size when the round started
+	Candidates  int
+	Verified    int // candidates verified as security patches
+	Ratio       float64
+}
+
+// String renders the round like a Table II row.
+func (r Round) String() string {
+	return fmt.Sprintf("round %d: range=%d candidates=%d verified=%d ratio=%.0f%%",
+		r.Round, r.SearchRange, r.Candidates, r.Verified, 100*r.Ratio)
+}
+
+// Result is the outcome of an augmentation run.
+type Result struct {
+	Rounds []Round
+	// SecurityIDs are wild patches verified as security patches.
+	SecurityIDs []string
+	// NonSecurityIDs are verified non-security candidates (they join the
+	// cleaned negative set).
+	NonSecurityIDs []string
+	// SeedFeatures is the enlarged verified-security feature set after the
+	// run (input seed plus discovered positives).
+	SeedFeatures [][]float64
+}
+
+// ErrEmptyPool is returned when the wild pool has no items.
+var ErrEmptyPool = errors.New("augment: empty wild pool")
+
+// Run executes augmentation rounds over one unlabeled pool. seed holds the
+// feature vectors of already-verified security patches; it is enlarged as
+// rounds discover new positives. Verified candidates (either label) leave
+// the pool. startRound numbers the produced rounds (Table II numbers rounds
+// across pools).
+func Run(seed [][]float64, pool []Item, verifier Verifier, startRound int, cfg Config) (*Result, error) {
+	if len(pool) == 0 {
+		return nil, ErrEmptyPool
+	}
+	if len(seed) == 0 {
+		return nil, nearestlink.ErrNoSecurityPatches
+	}
+	cfg = cfg.withDefaults()
+
+	res := &Result{SeedFeatures: append([][]float64(nil), seed...)}
+	active := append([]Item(nil), pool...)
+
+	for round := 0; round < cfg.MaxRounds && len(active) > 0; round++ {
+		wildX := make([][]float64, len(active))
+		for i, it := range active {
+			wildX[i] = it.Features
+		}
+		links, err := nearestlink.Search(res.SeedFeatures, wildX,
+			&nearestlink.Options{Workers: cfg.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("augment round %d: %w", startRound+round, err)
+		}
+
+		r := Round{
+			Round:       startRound + round,
+			SearchRange: len(active),
+			Candidates:  len(links),
+		}
+		selected := make(map[int]bool, len(links))
+		for _, l := range links {
+			selected[l.Wild] = true
+			item := active[l.Wild]
+			if verifier.Verify(item.ID) {
+				r.Verified++
+				res.SecurityIDs = append(res.SecurityIDs, item.ID)
+				res.SeedFeatures = append(res.SeedFeatures, item.Features)
+			} else {
+				res.NonSecurityIDs = append(res.NonSecurityIDs, item.ID)
+			}
+		}
+		if r.Candidates > 0 {
+			r.Ratio = float64(r.Verified) / float64(r.Candidates)
+		}
+		res.Rounds = append(res.Rounds, r)
+
+		// Remove all verified candidates from the pool.
+		next := active[:0]
+		for i, it := range active {
+			if !selected[i] {
+				next = append(next, it)
+			}
+		}
+		active = next
+
+		if r.Ratio < cfg.RatioThreshold {
+			break
+		}
+	}
+	return res, nil
+}

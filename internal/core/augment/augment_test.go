@@ -1,0 +1,134 @@
+package augment
+
+import (
+	"strconv"
+	"testing"
+
+	"patchdb/internal/core/nearestlink"
+)
+
+// mapVerifier labels items by a ground-truth map.
+type mapVerifier struct {
+	truth     map[string]bool
+	inspected int
+}
+
+func (v *mapVerifier) Verify(id string) bool {
+	v.inspected++
+	return v.truth[id]
+}
+
+// world builds a seed cluster at 0 and a pool with positives near 0 and
+// negatives near 10.
+func world(nSeed, nPos, nNeg int) (seed [][]float64, pool []Item, truth map[string]bool) {
+	truth = make(map[string]bool)
+	for i := 0; i < nSeed; i++ {
+		seed = append(seed, []float64{float64(i) * 0.01})
+	}
+	for i := 0; i < nPos; i++ {
+		id := "pos" + strconv.Itoa(i)
+		pool = append(pool, Item{ID: id, Features: []float64{0.5 + float64(i)*0.01}})
+		truth[id] = true
+	}
+	for i := 0; i < nNeg; i++ {
+		id := "neg" + strconv.Itoa(i)
+		pool = append(pool, Item{ID: id, Features: []float64{10 + float64(i)*0.01}})
+		truth[id] = false
+	}
+	return seed, pool, truth
+}
+
+func TestRunDiscoversPositives(t *testing.T) {
+	seed, pool, truth := world(5, 20, 100)
+	v := &mapVerifier{truth: truth}
+	res, err := Run(seed, pool, v, 1, Config{MaxRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) == 0 {
+		t.Fatal("no rounds ran")
+	}
+	r1 := res.Rounds[0]
+	if r1.Round != 1 || r1.SearchRange != 120 || r1.Candidates != 5 {
+		t.Errorf("round 1 = %+v", r1)
+	}
+	if r1.Verified != 5 || r1.Ratio != 1.0 {
+		t.Errorf("round 1 should find only positives near the seed: %+v", r1)
+	}
+	// Seed grows with every discovered positive.
+	if len(res.SeedFeatures) != len(seed)+len(res.SecurityIDs) {
+		t.Errorf("seed features = %d", len(res.SeedFeatures))
+	}
+	for _, id := range res.SecurityIDs {
+		if !truth[id] {
+			t.Errorf("non-security id %q in SecurityIDs", id)
+		}
+	}
+	for _, id := range res.NonSecurityIDs {
+		if truth[id] {
+			t.Errorf("security id %q in NonSecurityIDs", id)
+		}
+	}
+}
+
+func TestRunRemovesVerifiedFromPool(t *testing.T) {
+	seed, pool, truth := world(10, 10, 10)
+	v := &mapVerifier{truth: truth}
+	res, err := Run(seed, pool, v, 1, Config{MaxRounds: 5, RatioThreshold: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(res.SecurityIDs) + len(res.NonSecurityIDs)
+	if total != v.inspected {
+		t.Errorf("inspected %d but recorded %d", v.inspected, total)
+	}
+	seen := map[string]bool{}
+	for _, id := range append(append([]string{}, res.SecurityIDs...), res.NonSecurityIDs...) {
+		if seen[id] {
+			t.Fatalf("candidate %q verified twice (pool removal broken)", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRunStopsOnLowRatio(t *testing.T) {
+	// All positives are found in round 1; round 2's candidates are
+	// negatives, driving the ratio to 0 and stopping the loop.
+	seed, pool, truth := world(10, 10, 200)
+	v := &mapVerifier{truth: truth}
+	res, err := Run(seed, pool, v, 1, Config{MaxRounds: 10, RatioThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) >= 10 {
+		t.Errorf("loop did not stop early: %d rounds", len(res.Rounds))
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if last.Ratio >= 0.3 {
+		t.Errorf("last round ratio %v above threshold", last.Ratio)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run([][]float64{{1}}, nil, &mapVerifier{}, 1, Config{}); err != ErrEmptyPool {
+		t.Errorf("empty pool err = %v", err)
+	}
+	if _, err := Run(nil, []Item{{ID: "a", Features: []float64{1}}}, &mapVerifier{}, 1, Config{}); err != nearestlink.ErrNoSecurityPatches {
+		t.Errorf("empty seed err = %v", err)
+	}
+}
+
+func TestRoundNumbering(t *testing.T) {
+	seed, pool, truth := world(3, 10, 10)
+	v := &mapVerifier{truth: truth}
+	res, err := Run(seed, pool, v, 4, Config{MaxRounds: 2, RatioThreshold: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds[0].Round != 4 {
+		t.Errorf("first round numbered %d, want 4", res.Rounds[0].Round)
+	}
+	if s := res.Rounds[0].String(); s == "" {
+		t.Error("empty round string")
+	}
+}

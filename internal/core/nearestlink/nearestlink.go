@@ -1,0 +1,292 @@
+// Package nearestlink implements PatchDB's core dataset-augmentation
+// algorithm (Sec. III-B): max-abs feature weighting, the weighted Euclidean
+// distance between verified security patches and unlabeled wild patches, and
+// the greedy nearest link search of Algorithm 1 that pairs every verified
+// security patch with a distinct, closest wild candidate.
+//
+// The implementation never materializes the full M x N distance matrix:
+// row minima are computed on demand and re-scanned only on column
+// collisions, so memory stays O(M+N) while matching Algorithm 1's output
+// exactly.
+package nearestlink
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Link pairs the m-th verified security patch with its selected wild patch.
+type Link struct {
+	// Security is the row index into the verified set.
+	Security int
+	// Wild is the selected column index into the unlabeled set.
+	Wild int
+	// Distance is the weighted Euclidean distance of the pair.
+	Distance float64
+}
+
+// Options tunes the search.
+type Options struct {
+	// Workers bounds parallelism (default: GOMAXPROCS).
+	Workers int
+	// DisableNormalization skips the max-abs weighting (ablation only; the
+	// paper always normalizes).
+	DisableNormalization bool
+}
+
+// ErrNoWildPatches is returned when the unlabeled pool is empty.
+var ErrNoWildPatches = errors.New("nearestlink: empty wild pool")
+
+// ErrNoSecurityPatches is returned when the verified set is empty.
+var ErrNoSecurityPatches = errors.New("nearestlink: empty security set")
+
+// Weights computes the per-dimension max-abs weights w_j = 1/max|a_j| over
+// all provided rows (paper Sec. III-B-2).
+func Weights(sets ...[][]float64) []float64 {
+	var dim int
+	for _, s := range sets {
+		if len(s) > 0 {
+			dim = len(s[0])
+			break
+		}
+	}
+	w := make([]float64, dim)
+	for _, s := range sets {
+		for _, row := range s {
+			for j, v := range row {
+				if a := math.Abs(v); a > w[j] {
+					w[j] = a
+				}
+			}
+		}
+	}
+	for j := range w {
+		if w[j] == 0 {
+			w[j] = 1
+		} else {
+			w[j] = 1 / w[j]
+		}
+	}
+	return w
+}
+
+// weighted returns rows scaled by w.
+func weighted(rows [][]float64, w []float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, row := range rows {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = v * w[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// dist2 is the squared Euclidean distance.
+func dist2(a, b []float64) float64 {
+	sum := 0.0
+	for j := range a {
+		d := a[j] - b[j]
+		sum += d * d
+	}
+	return sum
+}
+
+// Search runs Algorithm 1: for each of the M verified security patches it
+// selects one distinct wild patch so that the total link distance is
+// (greedily) minimized. It returns exactly min(M, N) links.
+func Search(security, wild [][]float64, opts *Options) ([]Link, error) {
+	if len(security) == 0 {
+		return nil, ErrNoSecurityPatches
+	}
+	if len(wild) == 0 {
+		return nil, ErrNoWildPatches
+	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	sec, wld := security, wild
+	if !o.DisableNormalization {
+		w := Weights(security, wild)
+		sec = weighted(security, w)
+		wld = weighted(wild, w)
+	}
+
+	m := len(sec)
+	n := len(wld)
+
+	// rowMin scans row i over columns not in `used`, returning the best
+	// (distance^2, column).
+	rowMin := func(i int, used []bool) (float64, int) {
+		best := math.Inf(1)
+		bestJ := -1
+		row := sec[i]
+		for j := 0; j < n; j++ {
+			if used != nil && used[j] {
+				continue
+			}
+			if d := dist2(row, wld[j]); d < best {
+				best = d
+				bestJ = j
+			}
+		}
+		return best, bestJ
+	}
+
+	// Initial per-row minima (Algorithm 1 lines 2-3), in parallel.
+	u := make([]float64, m)
+	v := make([]int, m)
+	var wg sync.WaitGroup
+	chunk := (m + o.Workers - 1) / o.Workers
+	for w0 := 0; w0 < m; w0 += chunk {
+		hi := w0 + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				u[i], v[i] = rowMin(i, nil)
+			}
+		}(w0, hi)
+	}
+	wg.Wait()
+
+	// Greedy assignment (Algorithm 1 lines 5-17).
+	used := make([]bool, n)
+	links := make([]Link, 0, m)
+	assigned := 0
+	total := m
+	if n < m {
+		total = n
+	}
+	done := make([]bool, m)
+	for assigned < total {
+		// m0 <- argmin U over unassigned rows.
+		m0 := -1
+		for i := 0; i < m; i++ {
+			if !done[i] && (m0 == -1 || u[i] < u[m0]) {
+				m0 = i
+			}
+		}
+		if m0 == -1 {
+			break
+		}
+		n0 := v[m0]
+		if n0 < 0 || used[n0] {
+			// Column collision: rescan this row over unused columns
+			// (Algorithm 1 lines 10-15).
+			d, j := rowMin(m0, used)
+			if j < 0 {
+				done[m0] = true
+				continue
+			}
+			u[m0], v[m0] = d, j
+			// Re-enter the loop: another row may now have the global min.
+			continue
+		}
+		used[n0] = true
+		done[m0] = true
+		links = append(links, Link{Security: m0, Wild: n0, Distance: math.Sqrt(u[m0])})
+		assigned++
+	}
+	return links, nil
+}
+
+// TotalDistance sums link distances (the optimization objective).
+func TotalDistance(links []Link) float64 {
+	sum := 0.0
+	for _, l := range links {
+		sum += l.Distance
+	}
+	return sum
+}
+
+// KNNSelect is the contrast the paper draws in Sec. III-B-3: plain 1-nearest
+// -neighbor selection where a wild patch may be chosen by multiple verified
+// patches. It returns the set of distinct selected columns (size <= M),
+// used by the KNN-vs-nearest-link ablation.
+func KNNSelect(security, wild [][]float64, opts *Options) ([]int, error) {
+	if len(security) == 0 {
+		return nil, ErrNoSecurityPatches
+	}
+	if len(wild) == 0 {
+		return nil, ErrNoWildPatches
+	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	sec, wld := security, wild
+	if !o.DisableNormalization {
+		w := Weights(security, wild)
+		sec = weighted(security, w)
+		wld = weighted(wild, w)
+	}
+	m := len(sec)
+	choice := make([]int, m)
+	var wg sync.WaitGroup
+	chunk := (m + o.Workers - 1) / o.Workers
+	for w0 := 0; w0 < m; w0 += chunk {
+		hi := w0 + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				best := math.Inf(1)
+				bestJ := -1
+				for j := range wld {
+					if d := dist2(sec[i], wld[j]); d < best {
+						best = d
+						bestJ = j
+					}
+				}
+				choice[i] = bestJ
+			}
+		}(w0, hi)
+	}
+	wg.Wait()
+	seen := make(map[int]bool, m)
+	var out []int
+	for _, j := range choice {
+		if j >= 0 && !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}
+
+// DistanceMatrix materializes the full weighted distance matrix (tests and
+// small inputs only).
+func DistanceMatrix(security, wild [][]float64, normalize bool) [][]float64 {
+	sec, wld := security, wild
+	if normalize {
+		w := Weights(security, wild)
+		sec = weighted(security, w)
+		wld = weighted(wild, w)
+	}
+	d := make([][]float64, len(sec))
+	for i, row := range sec {
+		d[i] = make([]float64, len(wld))
+		for j := range wld {
+			d[i][j] = math.Sqrt(dist2(row, wld[j]))
+		}
+	}
+	return d
+}

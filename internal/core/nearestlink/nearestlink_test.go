@@ -1,0 +1,238 @@
+package nearestlink
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWeights(t *testing.T) {
+	a := [][]float64{{2, -8, 0}}
+	b := [][]float64{{-4, 1, 0}}
+	w := Weights(a, b)
+	if w[0] != 0.25 || w[1] != 0.125 {
+		t.Errorf("weights = %v", w)
+	}
+	if w[2] != 1 {
+		t.Errorf("constant-dimension weight = %v, want 1", w[2])
+	}
+}
+
+func TestSearchHandPicked(t *testing.T) {
+	// Two security patches; wild pool where the greedy assignment is
+	// unambiguous.
+	sec := [][]float64{{0}, {10}}
+	wild := [][]float64{{9}, {1}, {50}}
+	links, err := Search(sec, wild, &Options{DisableNormalization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 {
+		t.Fatalf("links = %d", len(links))
+	}
+	got := map[int]int{}
+	for _, l := range links {
+		got[l.Security] = l.Wild
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("assignment = %v, want 0->1, 1->0", got)
+	}
+}
+
+func TestSearchCollisionResolution(t *testing.T) {
+	// Both security patches are nearest to wild[0]; one must fall back to
+	// its second choice, and the pair with the smaller distance wins the
+	// contested column (greedy global-min order).
+	sec := [][]float64{{0}, {0.5}}
+	wild := [][]float64{{0.1}, {3}}
+	links, err := Search(sec, wild, &Options{DisableNormalization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]int{}
+	for _, l := range links {
+		got[l.Security] = l.Wild
+	}
+	// sec[0] is 0.1 from wild[0]; sec[1] is 0.4 from wild[0]. sec[0] wins.
+	if got[0] != 0 || got[1] != 1 {
+		t.Errorf("assignment = %v, want 0->0, 1->1", got)
+	}
+}
+
+func TestSearchUniqueness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sec := randRows(rng, 40, 5)
+	wild := randRows(rng, 200, 5)
+	links, err := Search(sec, wild, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 40 {
+		t.Fatalf("links = %d", len(links))
+	}
+	usedWild := map[int]bool{}
+	usedSec := map[int]bool{}
+	for _, l := range links {
+		if usedWild[l.Wild] {
+			t.Fatalf("wild %d linked twice", l.Wild)
+		}
+		if usedSec[l.Security] {
+			t.Fatalf("security %d linked twice", l.Security)
+		}
+		usedWild[l.Wild] = true
+		usedSec[l.Security] = true
+		if l.Distance < 0 || math.IsNaN(l.Distance) {
+			t.Fatalf("bad distance %v", l.Distance)
+		}
+	}
+}
+
+func TestSearchMoreSecurityThanWild(t *testing.T) {
+	sec := [][]float64{{0}, {1}, {2}, {3}}
+	wild := [][]float64{{0}, {1}}
+	links, err := Search(sec, wild, &Options{DisableNormalization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 {
+		t.Fatalf("links = %d, want min(M,N)=2", len(links))
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	if _, err := Search(nil, [][]float64{{1}}, nil); err != ErrNoSecurityPatches {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Search([][]float64{{1}}, nil, nil); err != ErrNoWildPatches {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sec := randRows(rng, 30, 8)
+	wild := randRows(rng, 120, 8)
+	l1, err := Search(sec, wild, &Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l8, err := Search(sec, wild, &Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1) != len(l8) {
+		t.Fatalf("lengths differ: %d vs %d", len(l1), len(l8))
+	}
+	m1 := map[int]int{}
+	for _, l := range l1 {
+		m1[l.Security] = l.Wild
+	}
+	for _, l := range l8 {
+		if m1[l.Security] != l.Wild {
+			t.Fatalf("worker count changed assignment for security %d", l.Security)
+		}
+	}
+}
+
+func TestNormalizationMatters(t *testing.T) {
+	// Dimension 1 has a huge scale (set by wild[2]); unnormalized, wild[0]'s
+	// small dim-1 offset (10) dominates its zero dim-0 distance and wild[1]
+	// wins. Normalized, dim-1 shrinks by 1/1000 and wild[0] wins.
+	sec := [][]float64{{1, 0}}
+	wild := [][]float64{{1, 10}, {2, 0}, {0, 1000}}
+	raw, err := Search(sec, wild, &Options{DisableNormalization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := Search(sec, wild, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0].Wild != 1 {
+		t.Errorf("unnormalized picked %d, want 1 (raw dim-1 dominates)", raw[0].Wild)
+	}
+	if norm[0].Wild != 0 {
+		t.Errorf("normalized picked %d, want 0 (dim-1 rescaled away)", norm[0].Wild)
+	}
+}
+
+func TestKNNSelectAllowsFewer(t *testing.T) {
+	// Two security patches share the same nearest wild patch; KNN dedups to
+	// one candidate while nearest link yields two.
+	sec := [][]float64{{0}, {0.1}}
+	wild := [][]float64{{0.05}, {9}}
+	knn, err := KNNSelect(sec, wild, &Options{DisableNormalization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(knn) != 1 || knn[0] != 0 {
+		t.Errorf("knn = %v, want [0]", knn)
+	}
+	links, err := Search(sec, wild, &Options{DisableNormalization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 {
+		t.Errorf("nearest link = %d links, want 2 (one-to-one)", len(links))
+	}
+}
+
+func TestDistanceMatrix(t *testing.T) {
+	d := DistanceMatrix([][]float64{{0, 0}, {3, 4}}, [][]float64{{0, 0}}, false)
+	if d[0][0] != 0 || d[1][0] != 5 {
+		t.Errorf("matrix = %v", d)
+	}
+}
+
+func TestTotalDistance(t *testing.T) {
+	links := []Link{{Distance: 1.5}, {Distance: 2.5}}
+	if TotalDistance(links) != 4 {
+		t.Errorf("total = %v", TotalDistance(links))
+	}
+}
+
+// TestGreedyMatchesBruteForceOnTiny compares Algorithm 1 against exhaustive
+// column scans on tiny instances, asserting the structural invariants that
+// greedy guarantees: the globally closest pair is always linked first.
+func TestGreedyClosestPairAlwaysLinked(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		sec := randRows(rng, 4, 3)
+		wild := randRows(rng, 10, 3)
+		links, err := Search(sec, wild, &Options{DisableNormalization: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Find the global minimum pair by brute force.
+		bestD := math.Inf(1)
+		bestM, bestN := -1, -1
+		for m := range sec {
+			for n := range wild {
+				if d := dist2(sec[m], wild[n]); d < bestD {
+					bestD = d
+					bestM, bestN = m, n
+				}
+			}
+		}
+		found := false
+		for _, l := range links {
+			if l.Security == bestM && l.Wild == bestN {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: global closest pair (%d,%d) not linked: %v", trial, bestM, bestN, links)
+		}
+	}
+}
+
+func randRows(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64()
+		}
+	}
+	return out
+}

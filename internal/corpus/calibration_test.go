@@ -1,0 +1,52 @@
+package corpus
+
+import (
+	"fmt"
+	"testing"
+
+	"patchdb/internal/core/nearestlink"
+	"patchdb/internal/features"
+)
+
+// TestCalibrationNearestLinkRatio checks the pipeline's central empirical
+// property: candidates selected by nearest link search from the wild contain
+// a multiple of the base rate of security patches (the paper reports ~3x:
+// 22-30% vs 6-10%).
+func TestCalibrationNearestLinkRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	g := NewGenerator(Config{Seed: 42})
+	seedCommits := g.GenerateNVD(200)
+	wild := g.GenerateWild(3000)
+
+	seedX := make([][]float64, len(seedCommits))
+	for i, lc := range seedCommits {
+		seedX[i] = features.Extract(lc.Commit.Patch(), 0)
+	}
+	wildX := make([][]float64, len(wild))
+	baseRate := 0
+	for i, lc := range wild {
+		wildX[i] = features.Extract(lc.Commit.Patch(), 0)
+		if lc.Security {
+			baseRate++
+		}
+	}
+	links, err := nearestlink.Search(seedX, wildX, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, l := range links {
+		if wild[l.Wild].Security {
+			hits++
+		}
+	}
+	ratio := float64(hits) / float64(len(links))
+	base := float64(baseRate) / float64(len(wild))
+	t.Logf("base rate=%.1f%% candidate ratio=%.1f%% (%d/%d links)", 100*base, 100*ratio, hits, len(links))
+	fmt.Printf("CALIBRATION base=%.3f ratio=%.3f\n", base, ratio)
+	if ratio < 1.5*base {
+		t.Errorf("nearest link ratio %.3f is not meaningfully above base rate %.3f", ratio, base)
+	}
+}

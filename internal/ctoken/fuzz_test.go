@@ -1,0 +1,37 @@
+package ctoken
+
+import "testing"
+
+// FuzzLex asserts the lexer never panics, never loses position accuracy,
+// and always terminates with offsets that slice the input correctly.
+func FuzzLex(f *testing.F) {
+	f.Add("int x = 42;")
+	f.Add("if (a && b) { f(x); }")
+	f.Add("\"unterminated")
+	f.Add("/* unterminated")
+	f.Add("#define \\\n continued")
+	f.Add("'\\'")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks := Lex(src, 1)
+		prevEnd := 0
+		for _, tok := range toks {
+			end := tok.Offset + len(tok.Text)
+			if tok.Offset < prevEnd || end > len(src) {
+				t.Fatalf("token %q at %d overlaps or overflows (prev end %d, len %d)",
+					tok.Text, tok.Offset, prevEnd, len(src))
+			}
+			if src[tok.Offset:end] != tok.Text {
+				t.Fatalf("token text %q not at its offset", tok.Text)
+			}
+			if tok.Line < 1 {
+				t.Fatalf("token line %d", tok.Line)
+			}
+			prevEnd = end
+		}
+		// Abstraction must be total.
+		if got := Abstract(toks); len(got) != len(toks) {
+			t.Fatalf("Abstract changed length")
+		}
+	})
+}

@@ -1,0 +1,418 @@
+package diff
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const samplePatch = `commit b84c2cab55948a5ee70860779b2640913e3ee1ed
+Author: Jane Dev <jane@example.com>
+Date: 2019-11-13
+
+    fix stack underflow
+
+diff --git a/src/bits.c b/src/bits.c
+index 014b04fe4..a3692bdc6 100644
+--- a/src/bits.c
++++ b/src/bits.c
+@@ -953,7 +953,7 @@ bit_write_UMC (Bit_Chain *dat, BITCODE_UMC val)
+       if (byte[i] & 0x7f)
+         break;
+     }
+-  if (byte[i] & 0x40)
++  if (byte[i] & 0x40 && i > 0)
+   byte[i] &= 0x7f;
+   for (j = 4; j >= i; j--)
+     {
+`
+
+func TestParseBasic(t *testing.T) {
+	p, err := Parse(samplePatch)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Commit != "b84c2cab55948a5ee70860779b2640913e3ee1ed" {
+		t.Errorf("commit = %q", p.Commit)
+	}
+	if p.Author != "Jane Dev <jane@example.com>" {
+		t.Errorf("author = %q", p.Author)
+	}
+	if p.Message != "fix stack underflow" {
+		t.Errorf("message = %q", p.Message)
+	}
+	if len(p.Files) != 1 {
+		t.Fatalf("files = %d", len(p.Files))
+	}
+	f := p.Files[0]
+	if f.OldPath != "src/bits.c" || f.NewPath != "src/bits.c" {
+		t.Errorf("paths = %q %q", f.OldPath, f.NewPath)
+	}
+	if len(f.Hunks) != 1 {
+		t.Fatalf("hunks = %d", len(f.Hunks))
+	}
+	h := f.Hunks[0]
+	if h.OldStart != 953 || h.OldLines != 7 || h.NewStart != 953 || h.NewLines != 7 {
+		t.Errorf("ranges = %d,%d %d,%d", h.OldStart, h.OldLines, h.NewStart, h.NewLines)
+	}
+	if h.Section != "bit_write_UMC (Bit_Chain *dat, BITCODE_UMC val)" {
+		t.Errorf("section = %q", h.Section)
+	}
+	if got := h.AddedLines(); len(got) != 1 || !strings.Contains(got[0], "i > 0") {
+		t.Errorf("added = %q", got)
+	}
+	if got := h.RemovedLines(); len(got) != 1 {
+		t.Errorf("removed = %q", got)
+	}
+}
+
+func TestParseGitHubFromHeader(t *testing.T) {
+	text := "From abcdef0123456789abcdef0123456789abcdef01 Mon Sep 17 00:00:00 2001\n" +
+		"From: Dev <d@example.com>\n" +
+		"Subject: [PATCH] fix\n\n" +
+		"diff --git a/a.c b/a.c\n--- a/a.c\n+++ b/a.c\n@@ -1 +1 @@\n-x\n+y\n"
+	p, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Commit != "abcdef0123456789abcdef0123456789abcdef01" {
+		t.Errorf("commit = %q", p.Commit)
+	}
+}
+
+func TestParseBareDiff(t *testing.T) {
+	text := "--- a/x.c\n+++ b/x.c\n@@ -1,2 +1,2 @@\n context\n-old\n+new\n"
+	p, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Files) != 1 || p.Files[0].NewPath != "x.c" {
+		t.Fatalf("files = %+v", p.Files)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"garbage", "not a patch at all"},
+		{"bad hunk header", "diff --git a/a b/a\n@@ nonsense\n"},
+		{"hunk outside file", "@@ -1 +1 @@\n-x\n+y\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.text); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", tc.text)
+			}
+		})
+	}
+}
+
+func TestParseErrorType(t *testing.T) {
+	_, err := Parse("diff --git a/a b/a\n@@ nonsense\n")
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error %v is not a *ParseError", err)
+	}
+	if pe.LineNo != 2 {
+		t.Errorf("LineNo = %d, want 2", pe.LineNo)
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	p, err := Parse(samplePatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(Format(p))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if Format(p) != Format(p2) {
+		t.Errorf("Format not stable:\n%s\nvs\n%s", Format(p), Format(p2))
+	}
+}
+
+func TestStripNonCFamily(t *testing.T) {
+	text := "commit 1234567\n" +
+		"diff --git a/ChangeLog b/ChangeLog\n--- a/ChangeLog\n+++ b/ChangeLog\n@@ -1 +1 @@\n-a\n+b\n" +
+		"diff --git a/src/x.c b/src/x.c\n--- a/src/x.c\n+++ b/src/x.c\n@@ -1 +1 @@\n-a\n+b\n" +
+		"diff --git a/run.sh b/run.sh\n--- a/run.sh\n+++ b/run.sh\n@@ -1 +1 @@\n-a\n+b\n" +
+		"diff --git a/inc/y.hpp b/inc/y.hpp\n--- a/inc/y.hpp\n+++ b/inc/y.hpp\n@@ -1 +1 @@\n-a\n+b\n"
+	p, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Files) != 4 {
+		t.Fatalf("files = %d", len(p.Files))
+	}
+	s := p.StripNonCFamily()
+	if len(s.Files) != 2 {
+		t.Fatalf("stripped files = %d", len(s.Files))
+	}
+	if s.Files[0].NewPath != "src/x.c" || s.Files[1].NewPath != "inc/y.hpp" {
+		t.Errorf("kept %q %q", s.Files[0].NewPath, s.Files[1].NewPath)
+	}
+}
+
+func TestIsCFamily(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"a.c", true}, {"b.h", true}, {"c.cpp", true}, {"d.cc", true},
+		{"e.cxx", true}, {"f.hpp", true}, {"g.hh", true},
+		{"UPPER.C", true},
+		{"x.go", false}, {"y.sh", false}, {"ChangeLog", false},
+		{"z.phpt", false}, {"k.kconfig", false},
+	}
+	for _, tc := range cases {
+		fd := &FileDiff{OldPath: tc.path, NewPath: tc.path}
+		if got := fd.IsCFamily(); got != tc.want {
+			t.Errorf("IsCFamily(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestLineKindString(t *testing.T) {
+	if Context.String() != " " || Removed.String() != "-" || Added.String() != "+" {
+		t.Error("LineKind markers wrong")
+	}
+	if LineKind(0).String() != "?" {
+		t.Error("invalid kind marker")
+	}
+}
+
+func TestComputeIdentical(t *testing.T) {
+	if fd := Compute("a.c", "x\ny\n", "x\ny\n", 3); fd != nil {
+		t.Errorf("identical content produced diff %+v", fd)
+	}
+}
+
+func TestComputeSimpleChange(t *testing.T) {
+	oldText := "a\nb\nc\nd\ne\n"
+	newText := "a\nb\nC\nd\ne\n"
+	fd := Compute("f.c", oldText, newText, 1)
+	if fd == nil {
+		t.Fatal("nil diff")
+	}
+	if len(fd.Hunks) != 1 {
+		t.Fatalf("hunks = %d", len(fd.Hunks))
+	}
+	h := fd.Hunks[0]
+	if len(h.RemovedLines()) != 1 || h.RemovedLines()[0] != "c" {
+		t.Errorf("removed = %v", h.RemovedLines())
+	}
+	if len(h.AddedLines()) != 1 || h.AddedLines()[0] != "C" {
+		t.Errorf("added = %v", h.AddedLines())
+	}
+}
+
+func TestComputeHunkGrouping(t *testing.T) {
+	var oldLines, newLines []string
+	for i := 0; i < 30; i++ {
+		oldLines = append(oldLines, "line")
+		newLines = append(newLines, "line")
+	}
+	newLines[2] = "changed-top"
+	newLines[27] = "changed-bottom"
+	fd := Compute("f.c", strings.Join(oldLines, "\n")+"\n", strings.Join(newLines, "\n")+"\n", 3)
+	if fd == nil {
+		t.Fatal("nil diff")
+	}
+	if len(fd.Hunks) != 2 {
+		t.Fatalf("hunks = %d, want 2 (changes far apart must split)", len(fd.Hunks))
+	}
+}
+
+func TestComputeAdjacentChangesMerge(t *testing.T) {
+	oldText := "a\nb\nc\nd\ne\nf\ng\nh\n"
+	newText := "a\nB\nc\nd\nE\nf\ng\nh\n"
+	fd := Compute("f.c", oldText, newText, 3)
+	if fd == nil {
+		t.Fatal("nil diff")
+	}
+	if len(fd.Hunks) != 1 {
+		t.Fatalf("hunks = %d, want 1 (close changes share a hunk)", len(fd.Hunks))
+	}
+}
+
+func TestComputePatchMultiFile(t *testing.T) {
+	before := map[string]string{"a.c": "1\n", "b.c": "2\n", "same.c": "s\n"}
+	after := map[string]string{"a.c": "1x\n", "b.c": "2\n", "same.c": "s\n", "new.c": "n\n"}
+	p := ComputePatch("deadbeef", "msg", before, after, 3)
+	if p.Commit != "deadbeef" || p.Message != "msg" {
+		t.Errorf("metadata lost: %q %q", p.Commit, p.Message)
+	}
+	if len(p.Files) != 2 {
+		t.Fatalf("files = %d, want 2 (a.c changed, new.c added)", len(p.Files))
+	}
+}
+
+func TestApplyRoundTrip(t *testing.T) {
+	cases := []struct{ name, oldText, newText string }{
+		{"modify", "a\nb\nc\n", "a\nX\nc\n"},
+		{"append", "a\nb\n", "a\nb\nc\nd\n"},
+		{"prepend", "a\nb\n", "z\na\nb\n"},
+		{"delete all", "a\nb\n", ""},
+		{"create", "", "a\nb\n"},
+		{"delete middle", "a\nb\nc\nd\ne\n", "a\ne\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fd := Compute("f.c", tc.oldText, tc.newText, 3)
+			if fd == nil {
+				if tc.oldText != tc.newText {
+					t.Fatal("expected a diff")
+				}
+				return
+			}
+			got, err := Apply(tc.oldText, fd)
+			if err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			if got != tc.newText {
+				t.Errorf("Apply = %q, want %q", got, tc.newText)
+			}
+		})
+	}
+}
+
+func TestApplyMismatch(t *testing.T) {
+	fd := Compute("f.c", "a\nb\nc\n", "a\nX\nc\n", 3)
+	if _, err := Apply("totally\ndifferent\n", fd); err == nil {
+		t.Error("Apply on mismatched base succeeded")
+	}
+}
+
+// TestQuickComputeApply is the core diff invariant: for random file pairs,
+// applying the computed diff to the old version reproduces the new version.
+func TestQuickComputeApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gen := func() string {
+		n := rng.Intn(40)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString([]string{"alpha", "beta", "gamma", "delta", "eps"}[rng.Intn(5)])
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	mutate := func(s string) string {
+		lines := strings.Split(s, "\n")
+		for i := range lines {
+			switch rng.Intn(6) {
+			case 0:
+				lines[i] = "mutated"
+			case 1:
+				lines[i] = ""
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	for i := 0; i < 300; i++ {
+		oldText := gen()
+		var newText string
+		if rng.Intn(3) == 0 {
+			newText = gen()
+		} else {
+			newText = mutate(oldText)
+		}
+		// Normalize to trailing-newline form as Compute expects file-like text.
+		oldText = normalizeText(oldText)
+		newText = normalizeText(newText)
+		fd := Compute("f.c", oldText, newText, 3)
+		if fd == nil {
+			if splitJoined(oldText) != splitJoined(newText) {
+				t.Fatalf("case %d: no diff for differing inputs", i)
+			}
+			continue
+		}
+		got, err := Apply(oldText, fd)
+		if err != nil {
+			t.Fatalf("case %d: Apply: %v\nold=%q\nnew=%q", i, err, oldText, newText)
+		}
+		if splitJoined(got) != splitJoined(newText) {
+			t.Fatalf("case %d: round trip failed\nold=%q\nnew=%q\ngot=%q", i, oldText, newText, got)
+		}
+	}
+}
+
+func normalizeText(s string) string {
+	lines := splitLines(s)
+	if len(lines) == 0 {
+		return ""
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func splitJoined(s string) string { return strings.Join(splitLines(s), "\n") }
+
+// TestQuickParseFormat checks Parse(Format(p)) stability on generated
+// patches.
+func TestQuickParseFormat(t *testing.T) {
+	f := func(oldSeed, newSeed int64) bool {
+		a := genText(oldSeed)
+		b := genText(newSeed)
+		p := ComputePatch("cafebabe", "m", map[string]string{"x.c": a}, map[string]string{"x.c": b}, 3)
+		text := Format(p)
+		p2, err := Parse(text)
+		if err != nil {
+			return false
+		}
+		return Format(p2) == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func genText(seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for i, n := 0, rng.Intn(20); i < n; i++ {
+		b.WriteString([]string{"int x;", "y++;", "call(a, b);", "// c", "if (x) {", "}"}[rng.Intn(6)])
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestHunkListAndPatchAccessors(t *testing.T) {
+	p, err := Parse(samplePatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.HunkList()) != 1 {
+		t.Errorf("HunkList = %d", len(p.HunkList()))
+	}
+	if len(p.AddedLines()) != 1 || len(p.RemovedLines()) != 1 {
+		t.Errorf("patch-level added/removed = %d/%d", len(p.AddedLines()), len(p.RemovedLines()))
+	}
+}
+
+func TestComputePureInsertionApply(t *testing.T) {
+	oldText := "a\nb\nc\nd\ne\nf\ng\nh\ni\nj\n"
+	newText := "a\nb\nc\nd\ne\nX\nY\nf\ng\nh\ni\nj\n"
+	fd := Compute("f.c", oldText, newText, 3)
+	if fd == nil {
+		t.Fatal("nil diff")
+	}
+	got, err := Apply(oldText, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != newText {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,47 @@
+package features
+
+import (
+	"patchdb/internal/ctoken"
+	"patchdb/internal/diff"
+)
+
+// Sequence markers injected between patch regions so the RNN can tell
+// removed from added code and hunk boundaries, mirroring the paper's
+// token-stream encoding ("the source code of a given patch as a list of
+// tokens").
+const (
+	TokHunk    = "<hunk>"
+	TokRemoved = "<->"
+	TokAdded   = "<+>"
+)
+
+// TokenSequence flattens a patch into the abstracted token stream consumed
+// by the RNN classifier: per hunk, a hunk marker, then the removed lines'
+// tokens behind a removal marker, then the added lines' tokens behind an
+// addition marker. Identifiers and literals are abstracted (VAR/FUNC/NUM/
+// STR) so the vocabulary stays small and models generalize across
+// projects.
+func TokenSequence(p *diff.Patch) []string {
+	var seq []string
+	for _, h := range p.HunkList() {
+		seq = append(seq, TokHunk)
+		seq = appendLines(seq, h, diff.Removed, TokRemoved)
+		seq = appendLines(seq, h, diff.Added, TokAdded)
+	}
+	return seq
+}
+
+func appendLines(seq []string, h *diff.Hunk, kind diff.LineKind, marker string) []string {
+	first := true
+	for _, ln := range h.Lines {
+		if ln.Kind != kind {
+			continue
+		}
+		if first {
+			seq = append(seq, marker)
+			first = false
+		}
+		seq = append(seq, ctoken.Abstract(ctoken.LexLine(ln.Text))...)
+	}
+	return seq
+}

@@ -1,0 +1,178 @@
+// Package fixpattern implements the paper's second usage scenario
+// (Sec. V-A-2): summarizing recurring fix patterns from a large security
+// patch dataset. Each patch's added and removed lines are abstracted into
+// canonical token shapes; frequent shapes (and removed->added rewrite
+// pairs) per pattern class become templates like the race-condition and
+// data-leakage examples of Table VII.
+package fixpattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"patchdb/internal/corpus"
+	"patchdb/internal/ctoken"
+	"patchdb/internal/diff"
+)
+
+// Input couples a security patch with its pattern class.
+type Input struct {
+	Patch   *diff.Patch
+	Pattern corpus.Pattern
+}
+
+// Template is one mined fix shape.
+type Template struct {
+	// Pattern is the class the template was mined from.
+	Pattern corpus.Pattern
+	// Kind is "add", "remove", or "rewrite".
+	Kind string
+	// Shape is the abstracted token form, e.g. "if ( VAR -> VAR > NUM )".
+	Shape string
+	// RewriteTo holds the post form for rewrite templates.
+	RewriteTo string
+	// Support counts distinct patches exhibiting the shape.
+	Support int
+	// Example is one concrete source line matching the shape.
+	Example string
+}
+
+// Miner extracts frequent fix templates.
+type Miner struct {
+	// MinSupport is the minimum number of distinct patches a shape must
+	// appear in (default 3).
+	MinSupport int
+	// TopK bounds the number of templates reported per class and kind
+	// (default 5).
+	TopK int
+}
+
+func (m Miner) withDefaults() Miner {
+	if m.MinSupport <= 0 {
+		m.MinSupport = 3
+	}
+	if m.TopK <= 0 {
+		m.TopK = 5
+	}
+	return m
+}
+
+// shapeOf abstracts a source line into its canonical token form.
+func shapeOf(line string) string {
+	toks := ctoken.Abstract(ctoken.LexLine(line))
+	if len(toks) == 0 {
+		return ""
+	}
+	return strings.Join(toks, " ")
+}
+
+type shapeKey struct {
+	pattern corpus.Pattern
+	kind    string
+	shape   string
+	to      string
+}
+
+// Mine aggregates templates across the inputs.
+func (m Miner) Mine(inputs []Input) []Template {
+	m = m.withDefaults()
+	support := make(map[shapeKey]int)
+	examples := make(map[shapeKey]string)
+
+	for _, in := range inputs {
+		seen := make(map[shapeKey]bool) // support counts distinct patches
+		record := func(k shapeKey, example string) {
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			support[k]++
+			if _, ok := examples[k]; !ok {
+				examples[k] = strings.TrimSpace(example)
+			}
+		}
+		for _, h := range in.Patch.HunkList() {
+			added := h.AddedLines()
+			removed := h.RemovedLines()
+			for _, ln := range added {
+				if shape := shapeOf(ln); shape != "" {
+					record(shapeKey{in.Pattern, "add", shape, ""}, ln)
+				}
+			}
+			for _, ln := range removed {
+				if shape := shapeOf(ln); shape != "" {
+					record(shapeKey{in.Pattern, "remove", shape, ""}, ln)
+				}
+			}
+			// One-for-one hunks are rewrites (strcpy -> strlcpy style).
+			if len(added) == 1 && len(removed) == 1 {
+				from := shapeOf(removed[0])
+				to := shapeOf(added[0])
+				if from != "" && to != "" && from != to {
+					record(shapeKey{in.Pattern, "rewrite", from, to}, removed[0]+" -> "+added[0])
+				}
+			}
+		}
+	}
+
+	var out []Template
+	for k, n := range support {
+		if n < m.MinSupport {
+			continue
+		}
+		out = append(out, Template{
+			Pattern:   k.pattern,
+			Kind:      k.kind,
+			Shape:     k.shape,
+			RewriteTo: k.to,
+			Support:   n,
+			Example:   examples[k],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pattern != b.Pattern {
+			return a.Pattern < b.Pattern
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Shape < b.Shape
+	})
+	// Keep TopK per (pattern, kind).
+	counts := make(map[[2]string]int)
+	kept := out[:0]
+	for _, tmpl := range out {
+		key := [2]string{fmt.Sprint(int(tmpl.Pattern)), tmpl.Kind}
+		if counts[key] >= m.TopK {
+			continue
+		}
+		counts[key]++
+		kept = append(kept, tmpl)
+	}
+	return kept
+}
+
+// Render prints templates grouped by class, Table VII style.
+func Render(templates []Template) string {
+	var b strings.Builder
+	b.WriteString("Mined fix patterns (cf. Table VII)\n")
+	var last corpus.Pattern
+	for _, t := range templates {
+		if t.Pattern != last {
+			fmt.Fprintf(&b, "\n[%d] %s\n", int(t.Pattern), t.Pattern)
+			last = t.Pattern
+		}
+		switch t.Kind {
+		case "rewrite":
+			fmt.Fprintf(&b, "  rewrite (x%d): %s => %s\n      e.g. %s\n", t.Support, t.Shape, t.RewriteTo, t.Example)
+		default:
+			fmt.Fprintf(&b, "  %s (x%d): %s\n      e.g. %s\n", t.Kind, t.Support, t.Shape, t.Example)
+		}
+	}
+	return b.String()
+}

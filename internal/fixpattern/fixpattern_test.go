@@ -1,0 +1,151 @@
+package fixpattern
+
+import (
+	"strings"
+	"testing"
+
+	"patchdb/internal/corpus"
+	"patchdb/internal/diff"
+)
+
+func inputsFromGenerator(t *testing.T, n int) []Input {
+	t.Helper()
+	g := corpus.NewGenerator(corpus.Config{Seed: 41})
+	out := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		lc := g.SecurityCommit(corpus.DefaultWildMix)
+		out = append(out, Input{Patch: lc.Commit.Patch(), Pattern: lc.Pattern})
+	}
+	return out
+}
+
+func TestShapeOf(t *testing.T) {
+	cases := []struct{ line, want string }{
+		{"if (len > 64)", "if ( VAR > NUM )"},
+		{"\treturn -1;", "return - NUM ;"},
+		{"state_lock(ctx);", "FUNC ( VAR ) ;"},
+		{"", ""},
+		{"   ", ""},
+	}
+	for _, tc := range cases {
+		if got := shapeOf(tc.line); got != tc.want {
+			t.Errorf("shapeOf(%q) = %q, want %q", tc.line, got, tc.want)
+		}
+	}
+}
+
+func TestMineFindsRecurringShapes(t *testing.T) {
+	inputs := inputsFromGenerator(t, 300)
+	templates := Miner{MinSupport: 5}.Mine(inputs)
+	if len(templates) == 0 {
+		t.Fatal("no templates mined")
+	}
+	for _, tmpl := range templates {
+		if tmpl.Support < 5 {
+			t.Errorf("template below min support: %+v", tmpl)
+		}
+		if tmpl.Shape == "" {
+			t.Error("empty shape")
+		}
+		if tmpl.Kind != "add" && tmpl.Kind != "remove" && tmpl.Kind != "rewrite" {
+			t.Errorf("kind = %q", tmpl.Kind)
+		}
+		if tmpl.Example == "" {
+			t.Error("template without example")
+		}
+	}
+	// The corpus's dominant fix shapes must surface: an added guard
+	// (`if ( ... )`) for the check classes.
+	foundGuard := false
+	for _, tmpl := range templates {
+		if tmpl.Kind == "add" && strings.HasPrefix(tmpl.Shape, "if (") {
+			foundGuard = true
+		}
+	}
+	if !foundGuard {
+		t.Error("no added-guard template mined from a check-heavy corpus")
+	}
+}
+
+func TestMineLockUnlockPattern(t *testing.T) {
+	// Hand-built race-condition fixes (Table VII left column): the miner
+	// must surface lock/unlock additions.
+	var inputs []Input
+	for i := 0; i < 5; i++ {
+		before := map[string]string{"a.c": "void f(struct s *cv)\n{\n\tupdate(cv);\n\temit(cv);\n}\n"}
+		after := map[string]string{"a.c": "void f(struct s *cv)\n{\n\tlock(cv);\n\tupdate(cv);\n\tunlock(cv);\n\temit(cv);\n}\n"}
+		p := diff.ComputePatch("h"+string(rune('0'+i)), "", before, after, 3)
+		inputs = append(inputs, Input{Patch: p, Pattern: corpus.PatternFuncCall})
+	}
+	templates := Miner{MinSupport: 4}.Mine(inputs)
+	locks := 0
+	for _, tmpl := range templates {
+		if tmpl.Kind == "add" && tmpl.Shape == "FUNC ( VAR ) ;" {
+			locks++
+		}
+	}
+	if locks == 0 {
+		t.Errorf("lock/unlock addition not mined: %+v", templates)
+	}
+}
+
+func TestMineRewrites(t *testing.T) {
+	var inputs []Input
+	for i := 0; i < 4; i++ {
+		before := map[string]string{"a.c": "void f(char *d, char *s)\n{\n\tstrcpy(d, s);\n}\n"}
+		after := map[string]string{"a.c": "void f(char *d, char *s)\n{\n\tstrlcpy(d, s, sizeof(d));\n}\n"}
+		p := diff.ComputePatch("r"+string(rune('0'+i)), "", before, after, 3)
+		inputs = append(inputs, Input{Patch: p, Pattern: corpus.PatternFuncCall})
+	}
+	templates := Miner{MinSupport: 3}.Mine(inputs)
+	found := false
+	for _, tmpl := range templates {
+		if tmpl.Kind == "rewrite" && strings.Contains(tmpl.RewriteTo, "sizeof") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rewrite template not mined: %+v", templates)
+	}
+}
+
+func TestSupportCountsDistinctPatches(t *testing.T) {
+	// One patch repeating a shape 10 times must count as support 1.
+	var lines []string
+	for i := 0; i < 10; i++ {
+		lines = append(lines, "\tcheck_thing(x);")
+	}
+	before := map[string]string{"a.c": "void f(int x)\n{\n\twork(x);\n}\n"}
+	after := map[string]string{"a.c": "void f(int x)\n{\n" + strings.Join(lines, "\n") + "\n\twork(x);\n}\n"}
+	p := diff.ComputePatch("s1", "", before, after, 3)
+	templates := Miner{MinSupport: 1}.Mine([]Input{{Patch: p, Pattern: corpus.PatternFuncCall}})
+	for _, tmpl := range templates {
+		if tmpl.Support != 1 {
+			t.Errorf("support = %d for single patch: %+v", tmpl.Support, tmpl)
+		}
+	}
+}
+
+func TestTopKCap(t *testing.T) {
+	inputs := inputsFromGenerator(t, 300)
+	templates := Miner{MinSupport: 2, TopK: 2}.Mine(inputs)
+	counts := map[string]int{}
+	for _, tmpl := range templates {
+		key := tmpl.Pattern.String() + "/" + tmpl.Kind
+		counts[key]++
+		if counts[key] > 2 {
+			t.Fatalf("TopK=2 exceeded for %s", key)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	inputs := inputsFromGenerator(t, 100)
+	out := Render(Miner{MinSupport: 3}.Mine(inputs))
+	if !strings.Contains(out, "Table VII") {
+		t.Error("render missing title")
+	}
+	if !strings.Contains(out, "e.g.") {
+		t.Error("render missing examples")
+	}
+}

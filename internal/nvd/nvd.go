@@ -1,0 +1,313 @@
+// Package nvd simulates the National Vulnerability Database and the GitHub
+// .patch endpoint, and implements the crawler that extracts security patches
+// from them — the paper's Sec. III-A pipeline. The service is a real
+// net/http server on a loopback listener, so the crawler exercises the same
+// code path it would against nvd.nist.gov: fetch the CVE feed, select
+// references tagged "Patch" that point at GitHub commit URLs, download the
+// commit with a .patch suffix, parse it, and strip non-C/C++ files.
+package nvd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+
+	"patchdb/internal/diff"
+	"patchdb/internal/gitrepo"
+)
+
+// Reference is one external hyperlink of a CVE entry.
+type Reference struct {
+	URL  string   `json:"url"`
+	Tags []string `json:"tags"`
+}
+
+// Entry is one CVE record in the feed.
+type Entry struct {
+	ID          string      `json:"id"`
+	Description string      `json:"description"`
+	Published   string      `json:"published"`
+	Severity    string      `json:"severity"`
+	References  []Reference `json:"references"`
+}
+
+// Feed is the JSON document served at /feeds/cve.json.
+type Feed struct {
+	Entries []Entry `json:"cve_items"`
+}
+
+// Service serves a CVE feed plus GitHub-style commit patches from a
+// repository store.
+type Service struct {
+	mu      sync.RWMutex
+	entries []Entry
+	store   *gitrepo.Store
+
+	server   *http.Server
+	listener net.Listener
+	done     chan struct{}
+}
+
+// NewService creates a service backed by the given repository store.
+func NewService(store *gitrepo.Store) *Service {
+	return &Service{store: store, done: make(chan struct{})}
+}
+
+// AddEntry registers a CVE entry in the feed.
+func (s *Service) AddEntry(e Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = append(s.entries, e)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/feeds/cve.json":
+		s.mu.RLock()
+		feed := Feed{Entries: append([]Entry(nil), s.entries...)}
+		s.mu.RUnlock()
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(feed); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case strings.HasPrefix(r.URL.Path, "/github/"):
+		s.servePatch(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+var _ http.Handler = (*Service)(nil)
+
+// servePatch handles /github/{owner}/{repo}/commit/{hash}.patch.
+func (s *Service) servePatch(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/github/")
+	i := strings.Index(path, "/commit/")
+	if i < 0 || !strings.HasSuffix(path, ".patch") {
+		http.NotFound(w, r)
+		return
+	}
+	hash := strings.TrimSuffix(path[i+len("/commit/"):], ".patch")
+	c, ok := s.store.Lookup(hash)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	io.WriteString(w, diff.Format(c.Patch()))
+}
+
+// Start binds the service to a loopback port and serves until Close.
+func (s *Service) Start() (baseURL string, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("nvd: listen: %w", err)
+	}
+	s.listener = ln
+	s.server = &http.Server{Handler: s}
+	go func() {
+		defer close(s.done)
+		if serveErr := s.server.Serve(ln); serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+			// Serve errors after Close are expected; others are surfaced via
+			// the crawler's request failures.
+			_ = serveErr
+		}
+	}()
+	return "http://" + ln.Addr().String(), nil
+}
+
+// Close shuts the server down and waits for the serve goroutine to exit.
+func (s *Service) Close() error {
+	if s.server == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.server.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+// GitHubCommitURL renders the canonical commit URL for a repo/hash pair,
+// relative to a service base URL.
+func GitHubCommitURL(baseURL, repo, hash string) string {
+	return fmt.Sprintf("%s/github/%s/commit/%s", baseURL, repo, hash)
+}
+
+// commitURLRe matches GitHub commit reference URLs (paper Sec. III-A):
+// .../github/{owner}/{repo}/commit/{hash}
+var commitURLRe = regexp.MustCompile(`/github/(.+)/commit/([0-9a-f]{7,40})$`)
+
+// CrawledPatch is one security patch extracted from the NVD.
+type CrawledPatch struct {
+	CVE   string
+	Repo  string
+	Hash  string
+	Patch *diff.Patch
+	// FilesDropped counts non-C/C++ file diffs removed during cleaning.
+	FilesDropped int
+}
+
+// CrawlStats summarizes a crawl.
+type CrawlStats struct {
+	Entries         int // CVE entries in the feed
+	WithPatchRefs   int // entries that had at least one Patch-tagged link
+	Downloaded      int // patches fetched successfully
+	EmptyAfterClean int // patches with no C/C++ files left
+	Errors          int // fetch or parse failures
+}
+
+// Crawler downloads security patches referenced by the NVD feed.
+type Crawler struct {
+	// BaseURL of the NVD service.
+	BaseURL string
+	// Client defaults to a 10s-timeout client.
+	Client *http.Client
+	// Concurrency bounds parallel patch downloads (default 8).
+	Concurrency int
+}
+
+// Crawl fetches the feed and downloads every Patch-tagged GitHub commit
+// reference, returning cleaned C/C++ patches.
+func (c *Crawler) Crawl(ctx context.Context) ([]*CrawledPatch, CrawlStats, error) {
+	client := c.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	conc := c.Concurrency
+	if conc <= 0 {
+		conc = 8
+	}
+	var stats CrawlStats
+
+	feed, err := c.fetchFeed(ctx, client)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Entries = len(feed.Entries)
+
+	type job struct {
+		cve  string
+		repo string
+		hash string
+		url  string
+	}
+	var jobs []job
+	for _, e := range feed.Entries {
+		found := false
+		for _, ref := range e.References {
+			if !hasTag(ref.Tags, "Patch") {
+				continue
+			}
+			m := commitURLRe.FindStringSubmatch(ref.URL)
+			if m == nil {
+				continue
+			}
+			found = true
+			jobs = append(jobs, job{cve: e.ID, repo: m[1], hash: m[2], url: ref.URL + ".patch"})
+		}
+		if found {
+			stats.WithPatchRefs++
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		out     []*CrawledPatch
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, conc)
+		statsMu sync.Mutex
+	)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cp, fetchErr := c.fetchPatch(ctx, client, j.url)
+			statsMu.Lock()
+			defer statsMu.Unlock()
+			if fetchErr != nil {
+				stats.Errors++
+				return
+			}
+			stats.Downloaded++
+			cp.CVE = j.cve
+			cp.Repo = j.repo
+			cp.Hash = j.hash
+			if len(cp.Patch.Files) == 0 {
+				stats.EmptyAfterClean++
+				return
+			}
+			mu.Lock()
+			out = append(out, cp)
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	return out, stats, nil
+}
+
+func (c *Crawler) fetchFeed(ctx context.Context, client *http.Client) (*Feed, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/feeds/cve.json", nil)
+	if err != nil {
+		return nil, fmt.Errorf("nvd: build feed request: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("nvd: fetch feed: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("nvd: feed status %s", resp.Status)
+	}
+	var feed Feed
+	if err := json.NewDecoder(resp.Body).Decode(&feed); err != nil {
+		return nil, fmt.Errorf("nvd: decode feed: %w", err)
+	}
+	return &feed, nil
+}
+
+func (c *Crawler) fetchPatch(ctx context.Context, client *http.Client, url string) (*CrawledPatch, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("nvd: build patch request: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("nvd: fetch patch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("nvd: patch status %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("nvd: read patch: %w", err)
+	}
+	p, err := diff.Parse(string(body))
+	if err != nil {
+		return nil, fmt.Errorf("nvd: parse patch: %w", err)
+	}
+	before := len(p.Files)
+	cleaned := p.StripNonCFamily()
+	return &CrawledPatch{Patch: cleaned, FilesDropped: before - len(cleaned.Files)}, nil
+}
+
+func hasTag(tags []string, want string) bool {
+	for _, t := range tags {
+		if strings.EqualFold(t, want) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+package nvd
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"patchdb/internal/gitrepo"
+)
+
+// world builds a store with one repo and two commits and a started service.
+func world(t *testing.T) (*Service, string, *gitrepo.Commit, *gitrepo.Commit) {
+	t.Helper()
+	store := gitrepo.NewStore()
+	repo := gitrepo.NewRepo("acme/libfoo")
+	if err := store.Add(repo); err != nil {
+		t.Fatal(err)
+	}
+	repo.SeedFile("src/a.c", "int x;\nint y;\n")
+	c1 := repo.Commit("alice", "2019-01-01", "fix overflow", map[string]string{"src/a.c": "int x;\nlong y;\n"})
+	repo.SeedFile("docs/README", "hello\n")
+	c2 := repo.Commit("bob", "2019-02-02", "docs only", map[string]string{"docs/README": "hello world\n"})
+
+	svc := NewService(store)
+	base, err := svc.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := svc.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return svc, base, c1, c2
+}
+
+func TestServePatch(t *testing.T) {
+	_, base, c1, _ := world(t)
+	resp, err := http.Get(GitHubCommitURL(base, "acme/libfoo", c1.Hash) + ".patch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "diff --git a/src/a.c") {
+		t.Errorf("patch body = %q", body)
+	}
+}
+
+func TestServeUnknownAndBadPaths(t *testing.T) {
+	_, base, _, _ := world(t)
+	for _, path := range []string{
+		"/github/acme/libfoo/commit/0000000000000000000000000000000000000000.patch",
+		"/github/acme/libfoo/commit/nothash", // no .patch suffix
+		"/other/endpoint",
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %s, want 404", path, resp.Status)
+		}
+	}
+}
+
+func TestCrawlEndToEnd(t *testing.T) {
+	svc, base, c1, c2 := world(t)
+	svc.AddEntry(Entry{
+		ID: "CVE-2019-0001",
+		References: []Reference{
+			{URL: GitHubCommitURL(base, "acme/libfoo", c1.Hash), Tags: []string{"Patch"}},
+			{URL: "https://vendor.example.com/advisory", Tags: []string{"Vendor Advisory"}},
+		},
+	})
+	// An entry whose patch link points at a docs-only commit: downloads but
+	// is dropped after C/C++ cleaning.
+	svc.AddEntry(Entry{
+		ID: "CVE-2019-0002",
+		References: []Reference{
+			{URL: GitHubCommitURL(base, "acme/libfoo", c2.Hash), Tags: []string{"Patch"}},
+		},
+	})
+	// An entry with no patch-tagged reference at all.
+	svc.AddEntry(Entry{ID: "CVE-2019-0003", References: []Reference{
+		{URL: "https://example.com/x", Tags: []string{"Exploit"}},
+	}})
+	// An entry with a dangling patch link.
+	svc.AddEntry(Entry{ID: "CVE-2019-0004", References: []Reference{
+		{URL: GitHubCommitURL(base, "acme/libfoo", strings.Repeat("0", 40)), Tags: []string{"Patch"}},
+	}})
+
+	crawler := &Crawler{BaseURL: base}
+	patches, stats, err := crawler.Crawl(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 4 {
+		t.Errorf("entries = %d", stats.Entries)
+	}
+	if stats.WithPatchRefs != 3 {
+		t.Errorf("with patch refs = %d", stats.WithPatchRefs)
+	}
+	if stats.Downloaded != 2 {
+		t.Errorf("downloaded = %d", stats.Downloaded)
+	}
+	if stats.EmptyAfterClean != 1 {
+		t.Errorf("empty after clean = %d", stats.EmptyAfterClean)
+	}
+	if stats.Errors != 1 {
+		t.Errorf("errors = %d", stats.Errors)
+	}
+	if len(patches) != 1 {
+		t.Fatalf("patches = %d", len(patches))
+	}
+	p := patches[0]
+	if p.CVE != "CVE-2019-0001" || p.Hash != c1.Hash || p.Repo != "acme/libfoo" {
+		t.Errorf("patch = %+v", p)
+	}
+	if len(p.Patch.Files) != 1 || p.Patch.Files[0].NewPath != "src/a.c" {
+		t.Errorf("patch files = %+v", p.Patch.Files)
+	}
+}
+
+func TestCrawlTagCaseInsensitive(t *testing.T) {
+	svc, base, c1, _ := world(t)
+	svc.AddEntry(Entry{ID: "CVE-1", References: []Reference{
+		{URL: GitHubCommitURL(base, "acme/libfoo", c1.Hash), Tags: []string{"patch"}},
+	}})
+	crawler := &Crawler{BaseURL: base}
+	patches, _, err := crawler.Crawl(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patches) != 1 {
+		t.Errorf("lowercase tag not matched")
+	}
+}
+
+func TestCrawlBadBaseURL(t *testing.T) {
+	crawler := &Crawler{BaseURL: "http://127.0.0.1:1"} // nothing listens there
+	if _, _, err := crawler.Crawl(context.Background()); err == nil {
+		t.Error("crawl against dead server succeeded")
+	}
+}
+
+func TestCrawlCanceledContext(t *testing.T) {
+	_, base, _, _ := world(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	crawler := &Crawler{BaseURL: base}
+	if _, _, err := crawler.Crawl(ctx); err == nil {
+		t.Error("crawl with canceled context succeeded")
+	}
+}
+
+func TestCommitURLRegex(t *testing.T) {
+	cases := []struct {
+		url  string
+		want bool
+	}{
+		{"http://x/github/acme/libfoo/commit/0123456789abcdef0123456789abcdef01234567", true},
+		{"http://x/github/a/b/commit/abc1234", true},
+		{"http://x/github/a/b/commit/xyz", false},      // not hex
+		{"http://x/github/a/b/commits/abc1234", false}, // wrong path
+	}
+	for _, tc := range cases {
+		if got := commitURLRe.MatchString(tc.url); got != tc.want {
+			t.Errorf("match(%q) = %v, want %v", tc.url, got, tc.want)
+		}
+	}
+}

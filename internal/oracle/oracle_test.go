@@ -1,0 +1,115 @@
+package oracle
+
+import "testing"
+
+func TestVerifyTruth(t *testing.T) {
+	o := New(map[string]bool{"sec": true, "non": false})
+	if !o.Verify("sec") {
+		t.Error("security patch rejected")
+	}
+	if o.Verify("non") {
+		t.Error("non-security patch accepted")
+	}
+	if o.Verify("unknown") {
+		t.Error("unknown hash accepted")
+	}
+	if o.Inspected() != 3 {
+		t.Errorf("inspected = %d", o.Inspected())
+	}
+}
+
+func TestVerifyAll(t *testing.T) {
+	o := New(map[string]bool{"a": true, "b": false, "c": true})
+	got := o.VerifyAll([]string{"a", "b", "c"})
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("VerifyAll[%d] = %v", i, got[i])
+		}
+	}
+	if o.Inspected() != 3 {
+		t.Errorf("inspected = %d", o.Inspected())
+	}
+}
+
+func TestResetEffort(t *testing.T) {
+	o := New(map[string]bool{"a": true})
+	o.Verify("a")
+	o.ResetEffort()
+	if o.Inspected() != 0 {
+		t.Errorf("inspected after reset = %d", o.Inspected())
+	}
+}
+
+func TestAddLabel(t *testing.T) {
+	o := New(map[string]bool{})
+	o.AddLabel("x", true)
+	if !o.Verify("x") {
+		t.Error("added label not used")
+	}
+}
+
+func TestErrorModelMajorityVote(t *testing.T) {
+	// With a small per-annotator error rate and 3-way majority vote, the
+	// effective error rate must be well below the individual one
+	// (3e^2 - 2e^3 for independent annotators; 0.1 -> ~0.028).
+	labels := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		labels[key(i)] = i%2 == 0
+	}
+	o := New(labels, WithErrorRate(0.1), WithSeed(42))
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		if o.Verify(key(i)) != (i%2 == 0) {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / 2000
+	if rate > 0.06 {
+		t.Errorf("majority-vote error rate = %.3f, want < 0.06", rate)
+	}
+	if rate == 0 {
+		t.Error("error model inactive")
+	}
+}
+
+func TestAnnotatorCount(t *testing.T) {
+	labels := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		labels[key(i)] = true
+	}
+	// A single annotator at rate 0.2 errs ~20% of the time — much more than
+	// the 3-annotator default.
+	single := New(labels, WithErrorRate(0.2), WithAnnotators(1), WithSeed(1))
+	wrongSingle := 0
+	for i := 0; i < 1000; i++ {
+		if !single.Verify(key(i)) {
+			wrongSingle++
+		}
+	}
+	triple := New(labels, WithErrorRate(0.2), WithSeed(1))
+	wrongTriple := 0
+	for i := 0; i < 1000; i++ {
+		if !triple.Verify(key(i)) {
+			wrongTriple++
+		}
+	}
+	if wrongTriple >= wrongSingle {
+		t.Errorf("cross-checking did not reduce errors: single=%d triple=%d", wrongSingle, wrongTriple)
+	}
+}
+
+func key(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i%10)) + fmtInt(i) }
+
+func fmtInt(i int) string {
+	digits := "0123456789"
+	if i == 0 {
+		return "0"
+	}
+	var out []byte
+	for i > 0 {
+		out = append([]byte{digits[i%10]}, out...)
+		i /= 10
+	}
+	return string(out)
+}

@@ -1,0 +1,325 @@
+// Package signature implements the paper's first usage scenario (Sec. V-A-1):
+// patch-enhanced vulnerability signatures. A security patch embeds both the
+// vulnerable code (its removed/context lines) and the fix (its added lines);
+// a signature captures both sides as abstracted token fingerprints so that
+// target code can be classified as vulnerable (matches the vulnerable
+// fingerprint, lacks the fix) or patched (contains the fix fingerprint) —
+// the patch presence testing of MVP/VUDDY-style systems.
+package signature
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"patchdb/internal/ctoken"
+	"patchdb/internal/diff"
+)
+
+// ErrNoChanges is returned when a patch contains no usable hunks.
+var ErrNoChanges = errors.New("signature: patch has no code changes")
+
+// ErrNotDistinctive is returned when the pre- and post-patch versions are
+// identical after token abstraction (e.g. a constant tweak or a pure
+// statement move): no fingerprint can tell them apart.
+var ErrNotDistinctive = errors.New("signature: patch sides identical after abstraction")
+
+// Signature is a two-sided fingerprint derived from one security patch.
+type Signature struct {
+	// ID identifies the originating patch (commit hash).
+	ID string
+	// CVE is the associated vulnerability id, if known.
+	CVE string
+	// VulnGrams are hashed abstracted-token n-grams that characterize the
+	// vulnerable version (removed lines plus their context).
+	VulnGrams []uint64
+	// FixGrams characterize the fixed version (added lines plus context).
+	FixGrams []uint64
+	// vulnSet/fixSet hold all grams per side; vulnOnly/fixOnly hold the
+	// side-exclusive grams used for matching.
+	vulnSet  map[uint64]bool
+	fixSet   map[uint64]bool
+	vulnOnly map[uint64]bool
+	fixOnly  map[uint64]bool
+	// vulnFallback/fixFallback mark sides with no exclusive grams (pure
+	// insertions/deletions): such a side is only "present" when the other
+	// side is absent.
+	vulnFallback bool
+	fixFallback  bool
+}
+
+// Options tunes signature generation.
+type Options struct {
+	// N is the token n-gram size (default 4).
+	N int
+	// MinGrams rejects patches whose sides produce fewer distinct n-grams
+	// (default 3): tiny patches make unreliable signatures.
+	MinGrams int
+}
+
+func (o Options) withDefaults() Options {
+	if o.N <= 0 {
+		o.N = 4
+	}
+	if o.MinGrams <= 0 {
+		o.MinGrams = 3
+	}
+	return o
+}
+
+// Generate builds a signature from a security patch.
+func Generate(p *diff.Patch, cve string, opts Options) (*Signature, error) {
+	opts = opts.withDefaults()
+	// Reconstruct each hunk's pre- and post-patch line sequences in their
+	// true order, so token windows reflect adjacencies that actually occur
+	// in the corresponding file version.
+	var vulnGrams, fixGrams []uint64
+	changed := false
+	for _, h := range p.HunkList() {
+		var beforeLines, afterLines []string
+		for _, ln := range h.Lines {
+			switch ln.Kind {
+			case diff.Context:
+				beforeLines = append(beforeLines, ln.Text)
+				afterLines = append(afterLines, ln.Text)
+			case diff.Removed:
+				beforeLines = append(beforeLines, ln.Text)
+				changed = true
+			case diff.Added:
+				afterLines = append(afterLines, ln.Text)
+				changed = true
+			}
+		}
+		vulnGrams = append(vulnGrams, grams(beforeLines, opts.N)...)
+		fixGrams = append(fixGrams, grams(afterLines, opts.N)...)
+	}
+	if !changed {
+		return nil, ErrNoChanges
+	}
+	sig := &Signature{
+		ID:        p.Commit,
+		CVE:       cve,
+		VulnGrams: dedupe(vulnGrams),
+		FixGrams:  dedupe(fixGrams),
+	}
+	if len(sig.VulnGrams) < opts.MinGrams && len(sig.FixGrams) < opts.MinGrams {
+		return nil, fmt.Errorf("signature: patch %s too small (%d vuln / %d fix grams, need %d)",
+			p.Commit, len(sig.VulnGrams), len(sig.FixGrams), opts.MinGrams)
+	}
+	sig.vulnSet = toSet(sig.VulnGrams)
+	sig.fixSet = toSet(sig.FixGrams)
+	// Matching uses the DISTINCTIVE grams of each side: context lines land
+	// in both fingerprints, so on small patches the shared portion would
+	// dominate and both versions of a file would match both sides. The
+	// differential is what discriminates (ReDeBug-style). When one side has
+	// no exclusive grams (pure additions/removals), the full set is kept.
+	sig.vulnOnly = subtract(sig.vulnSet, sig.fixSet)
+	sig.fixOnly = subtract(sig.fixSet, sig.vulnSet)
+	if len(sig.vulnOnly) == 0 && len(sig.fixOnly) == 0 {
+		return nil, ErrNotDistinctive
+	}
+	if len(sig.vulnOnly) == 0 {
+		sig.vulnOnly = sig.vulnSet
+		sig.vulnFallback = true
+	}
+	if len(sig.fixOnly) == 0 {
+		sig.fixOnly = sig.fixSet
+		sig.fixFallback = true
+	}
+	return sig, nil
+}
+
+func dedupe(gs []uint64) []uint64 {
+	seen := make(map[uint64]bool, len(gs))
+	out := gs[:0]
+	for _, g := range gs {
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func subtract(a, b map[uint64]bool) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for g := range a {
+		if !b[g] {
+			out[g] = true
+		}
+	}
+	return out
+}
+
+// grams lexes lines, abstracts the tokens, and hashes sliding n-grams.
+func grams(lines []string, n int) []uint64 {
+	var toks []string
+	for _, ln := range lines {
+		toks = append(toks, ctoken.Abstract(ctoken.LexLine(ln))...)
+	}
+	if len(toks) < n {
+		if len(toks) == 0 {
+			return nil
+		}
+		return []uint64{hashGram(toks)}
+	}
+	seen := make(map[uint64]bool)
+	out := make([]uint64, 0, len(toks)-n+1)
+	for i := 0; i+n <= len(toks); i++ {
+		g := hashGram(toks[i : i+n])
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func hashGram(toks []string) uint64 {
+	h := fnv.New64a()
+	for _, t := range toks {
+		h.Write([]byte(t))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+func toSet(gs []uint64) map[uint64]bool {
+	out := make(map[uint64]bool, len(gs))
+	for _, g := range gs {
+		out[g] = true
+	}
+	return out
+}
+
+// Status is the outcome of a presence test.
+type Status int
+
+const (
+	// Unknown: the target code does not match either side of the signature.
+	Unknown Status = iota + 1
+	// Vulnerable: the target contains the pre-patch code and not the fix.
+	Vulnerable
+	// Patched: the target contains the fix.
+	Patched
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Vulnerable:
+		return "vulnerable"
+	case Patched:
+		return "patched"
+	default:
+		return "unknown"
+	}
+}
+
+// MatchResult reports how strongly a target matched.
+type MatchResult struct {
+	Status Status
+	// VulnScore and FixScore are containment ratios in [0,1]: the fraction
+	// of the signature's grams found in the target.
+	VulnScore float64
+	FixScore  float64
+}
+
+// Matcher tests target code against a set of signatures.
+type Matcher struct {
+	// Threshold is the containment ratio above which a side counts as
+	// present (default 0.7).
+	Threshold float64
+	// N must match the signatures' n-gram size (default 4).
+	N int
+
+	sigs []*Signature
+}
+
+// NewMatcher builds a matcher over signatures.
+func NewMatcher(sigs []*Signature) *Matcher {
+	return &Matcher{Threshold: 0.7, N: 4, sigs: sigs}
+}
+
+// Add registers another signature.
+func (m *Matcher) Add(sig *Signature) { m.sigs = append(m.sigs, sig) }
+
+// Len returns the number of registered signatures.
+func (m *Matcher) Len() int { return len(m.sigs) }
+
+// Test classifies target source code against one signature. Scores are
+// containment ratios of each side's exclusive grams; when both sides clear
+// the threshold the higher score wins.
+func (m *Matcher) Test(sig *Signature, source string) MatchResult {
+	targetGrams := toSet(grams(strings.Split(source, "\n"), m.n()))
+	res := MatchResult{Status: Unknown}
+	res.VulnScore = containment(sig.vulnOnly, targetGrams)
+	res.FixScore = containment(sig.fixOnly, targetGrams)
+	res.Status = classify(sig, res.VulnScore, res.FixScore, m.Threshold)
+	return res
+}
+
+// classify resolves the two containment scores into a status, honoring the
+// fallback semantics: a context-only side counts as present only when the
+// other, distinctive side is absent.
+func classify(sig *Signature, vulnScore, fixScore, threshold float64) Status {
+	if threshold <= 0 {
+		threshold = 0.7
+	}
+	fixPresent := fixScore >= threshold
+	vulnPresent := vulnScore >= threshold
+	if sig.vulnFallback && fixPresent {
+		vulnPresent = false
+	}
+	if sig.fixFallback && vulnPresent {
+		fixPresent = false
+	}
+	switch {
+	case fixPresent && (!vulnPresent || fixScore >= vulnScore):
+		return Patched
+	case vulnPresent:
+		return Vulnerable
+	default:
+		return Unknown
+	}
+}
+
+// Scan tests target code against every signature and returns the ids of
+// signatures whose vulnerable side matched without the fix (detected
+// vulnerable clones), plus those found patched.
+func (m *Matcher) Scan(source string) (vulnerable, patched []*Signature) {
+	targetGrams := toSet(grams(strings.Split(source, "\n"), m.n()))
+	for _, sig := range m.sigs {
+		fix := containment(sig.fixOnly, targetGrams)
+		vuln := containment(sig.vulnOnly, targetGrams)
+		switch classify(sig, vuln, fix, m.Threshold) {
+		case Patched:
+			patched = append(patched, sig)
+		case Vulnerable:
+			vulnerable = append(vulnerable, sig)
+		}
+	}
+	return vulnerable, patched
+}
+
+func (m *Matcher) n() int {
+	if m.N <= 0 {
+		return 4
+	}
+	return m.N
+}
+
+// containment returns |sig ∩ target| / |sig|.
+func containment(sig, target map[uint64]bool) float64 {
+	if len(sig) == 0 {
+		return 0
+	}
+	hits := 0
+	for g := range sig {
+		if target[g] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(sig))
+}

@@ -1,0 +1,192 @@
+package signature
+
+import (
+	"testing"
+
+	"patchdb/internal/corpus"
+	"patchdb/internal/diff"
+)
+
+const vulnFile = `int copy_frame(char *dst, const char *src, int len)
+{
+	int ret = 0;
+	memcpy(dst, src, len);
+	ret = len;
+	return ret;
+}
+`
+
+const fixedFile = `int copy_frame(char *dst, const char *src, int len)
+{
+	int ret = 0;
+	if (len < 0 || len > 4096)
+		return -1;
+	memcpy(dst, src, len);
+	ret = len;
+	return ret;
+}
+`
+
+// renamedVulnFile is the vulnerable code with all identifiers renamed —
+// abstraction must still match it.
+const renamedVulnFile = `int clone_packet(char *out, const char *in, int n)
+{
+	int rc = 0;
+	memcpy(out, in, n);
+	rc = n;
+	return rc;
+}
+`
+
+func makeSig(t *testing.T) *Signature {
+	t.Helper()
+	p := diff.ComputePatch("c0ffee", "fix", map[string]string{"a.c": vulnFile}, map[string]string{"a.c": fixedFile}, 3)
+	sig, err := Generate(p, "CVE-2020-0001", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig
+}
+
+func TestGenerate(t *testing.T) {
+	sig := makeSig(t)
+	if sig.ID != "c0ffee" || sig.CVE != "CVE-2020-0001" {
+		t.Errorf("metadata = %q %q", sig.ID, sig.CVE)
+	}
+	if len(sig.VulnGrams) == 0 || len(sig.FixGrams) == 0 {
+		t.Fatalf("grams = %d/%d", len(sig.VulnGrams), len(sig.FixGrams))
+	}
+	// The fix side must carry grams the vulnerable side lacks (the check).
+	vuln := toSet(sig.VulnGrams)
+	fresh := 0
+	for _, g := range sig.FixGrams {
+		if !vuln[g] {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		t.Error("fix side identical to vulnerable side")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(&diff.Patch{Commit: "x"}, "", Options{}); err != ErrNoChanges {
+		t.Errorf("empty patch err = %v", err)
+	}
+	tiny := diff.ComputePatch("t", "", map[string]string{"a.c": "x;\n"}, map[string]string{"a.c": "y;\n"}, 0)
+	if _, err := Generate(tiny, "", Options{MinGrams: 50}); err == nil {
+		t.Error("tiny patch accepted with high MinGrams")
+	}
+}
+
+func TestPresenceStatus(t *testing.T) {
+	sig := makeSig(t)
+	m := NewMatcher([]*Signature{sig})
+
+	if res := m.Test(sig, vulnFile); res.Status != Vulnerable {
+		t.Errorf("vulnerable file = %v (vuln=%.2f fix=%.2f)", res.Status, res.VulnScore, res.FixScore)
+	}
+	if res := m.Test(sig, fixedFile); res.Status != Patched {
+		t.Errorf("fixed file = %v (vuln=%.2f fix=%.2f)", res.Status, res.VulnScore, res.FixScore)
+	}
+	unrelated := "int main(void)\n{\n\tprintf(\"hello\");\n\treturn 0;\n}\n"
+	if res := m.Test(sig, unrelated); res.Status != Unknown {
+		t.Errorf("unrelated file = %v", res.Status)
+	}
+}
+
+func TestAbstractionSurvivesRenames(t *testing.T) {
+	sig := makeSig(t)
+	m := NewMatcher([]*Signature{sig})
+	res := m.Test(sig, renamedVulnFile)
+	if res.Status != Vulnerable {
+		t.Errorf("renamed clone = %v (vuln=%.2f fix=%.2f): abstraction failed", res.Status, res.VulnScore, res.FixScore)
+	}
+}
+
+func TestScan(t *testing.T) {
+	sig := makeSig(t)
+	// A second, unrelated signature.
+	p2 := diff.ComputePatch("beef", "fix2",
+		map[string]string{"b.c": "void g(struct s *p)\n{\n\tp->x = p->y << 2;\n\temit(p->x);\n}\n"},
+		map[string]string{"b.c": "void g(struct s *p)\n{\n\tif (p == NULL)\n\t\treturn;\n\tp->x = p->y << 2;\n\temit(p->x);\n}\n"}, 3)
+	sig2, err := Generate(p2, "CVE-2020-0002", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher([]*Signature{sig, sig2})
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	vulnerable, patched := m.Scan(vulnFile)
+	if len(vulnerable) != 1 || vulnerable[0].CVE != "CVE-2020-0001" {
+		t.Errorf("scan vulnerable = %+v", vulnerable)
+	}
+	if len(patched) != 0 {
+		t.Errorf("scan patched = %+v", patched)
+	}
+	vulnerable, patched = m.Scan(fixedFile)
+	if len(patched) != 1 || len(vulnerable) != 0 {
+		t.Errorf("scan of fixed: vuln=%d patched=%d", len(vulnerable), len(patched))
+	}
+}
+
+// TestEndToEndOnCorpus generates security patches, builds signatures, and
+// verifies presence testing works on the generator's own before/after
+// snapshots at scale.
+func TestEndToEndOnCorpus(t *testing.T) {
+	g := corpus.NewGenerator(corpus.Config{Seed: 31})
+	correct, total := 0, 0
+	for i := 0; i < 40; i++ {
+		lc := g.SecurityCommit(corpus.DefaultNVDMix)
+		sig, err := Generate(lc.Commit.Patch(), lc.CVE, Options{})
+		if err != nil {
+			continue // tiny patches are legitimately rejected
+		}
+		m := NewMatcher([]*Signature{sig})
+		for path, before := range lc.Commit.Before {
+			after := lc.Commit.After[path]
+			total += 2
+			if res := m.Test(sig, before); res.Status == Vulnerable {
+				correct++
+			}
+			if res := m.Test(sig, after); res.Status == Patched {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no signatures generated")
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.95 {
+		t.Errorf("presence-test accuracy = %.2f (%d/%d)", acc, correct, total)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Vulnerable.String() != "vulnerable" || Patched.String() != "patched" || Unknown.String() != "unknown" {
+		t.Error("status names wrong")
+	}
+}
+
+func TestGramsSmallInput(t *testing.T) {
+	gs := grams([]string{"x"}, 4)
+	if len(gs) != 1 {
+		t.Errorf("short input grams = %d", len(gs))
+	}
+	if gs := grams(nil, 4); gs != nil {
+		t.Errorf("empty input grams = %v", gs)
+	}
+}
+
+func TestContainmentBounds(t *testing.T) {
+	a := toSet([]uint64{1, 2, 3, 4})
+	b := toSet([]uint64{1, 2})
+	if got := containment(a, b); got != 0.5 {
+		t.Errorf("containment = %v", got)
+	}
+	if got := containment(map[uint64]bool{}, b); got != 0 {
+		t.Errorf("empty sig containment = %v", got)
+	}
+}

@@ -1,0 +1,57 @@
+package patchdb
+
+import (
+	"patchdb/internal/cast"
+	"patchdb/internal/core/oversample"
+)
+
+// Variant identifies one of the eight if-statement templates of Fig. 5.
+type Variant = oversample.Variant
+
+// The eight control-flow variant templates.
+const (
+	VariantZeroOr    = oversample.VariantZeroOr
+	VariantOneAnd    = oversample.VariantOneAnd
+	VariantBoolEq    = oversample.VariantBoolEq
+	VariantBoolNeg   = oversample.VariantBoolNeg
+	VariantFlagSet   = oversample.VariantFlagSet
+	VariantFlagClear = oversample.VariantFlagClear
+	VariantFlagAnd   = oversample.VariantFlagAnd
+	VariantFlagOr    = oversample.VariantFlagOr
+)
+
+// NumVariants is the number of variant templates.
+const NumVariants = oversample.NumVariants
+
+// Side selects whether the extra edit lands in the pre- or post-patch file
+// version.
+type Side = oversample.Side
+
+// Sides of the merge construction (Sec. III-C-3).
+const (
+	ModifyAfter  = oversample.ModifyAfter
+	ModifyBefore = oversample.ModifyBefore
+)
+
+// Synthetic is one generated artificial patch.
+type Synthetic = oversample.Synthetic
+
+// Oversampler synthesizes control-flow patch variants from full
+// before/after file snapshots (Sec. III-C).
+type Oversampler = oversample.Oversampler
+
+// ParseC parses C source into an AST with line-accurate if-statement spans
+// (the LLVM-AST substitute used to locate patched conditionals).
+func ParseC(src string) (*cast.File, error) { return cast.Parse(src) }
+
+// CFile is a parsed C translation unit.
+type CFile = cast.File
+
+// IfStmt is an if statement with its source span and condition offsets.
+type IfStmt = cast.IfStmt
+
+// ApplyVariant rewrites one if statement of src according to a variant
+// template, preserving program semantics.
+func ApplyVariant(src string, ifStmt *IfStmt, v Variant) (string, error) {
+	return oversample.ApplyVariant(src, ifStmt, v)
+}

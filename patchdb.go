@@ -1,0 +1,113 @@
+// Package patchdb is a Go implementation of PatchDB ("PatchDB: A
+// Large-Scale Security Patch Dataset", DSN 2021): a pipeline for building
+// large security-patch datasets from an NVD-style vulnerability feed and
+// git repositories in the wild.
+//
+// The package exposes the paper's three pillars:
+//
+//   - Feature extraction and the nearest link search algorithm that selects
+//     the most promising security patch candidates from an unlabeled commit
+//     pool (Sec. III-B, Algorithm 1): see ExtractFeatures and NearestLink.
+//   - Source-level patch oversampling via eight control-flow variant
+//     templates (Sec. III-C, Fig. 5): see Oversampler and ApplyVariant.
+//   - Dataset assembly and learning-based security patch identification
+//     (Sec. IV): see Builder, Dataset, and the classifiers returned by
+//     NewRandomForest / NewRNN.
+//
+// Every substrate the paper depends on — a git-format diff parser, a C/C++
+// lexer and AST parser, an NVD feed crawler, a git-like object store, ML
+// models (random forest, linear models, Bayes, an Elman RNN) — is
+// implemented in this module's internal packages and surfaced here as
+// needed.
+package patchdb
+
+import (
+	"patchdb/internal/categorize"
+	"patchdb/internal/corpus"
+	"patchdb/internal/ctoken"
+	"patchdb/internal/diff"
+	"patchdb/internal/features"
+)
+
+// Patch is a parsed git-style patch (commit metadata plus per-file hunks).
+type Patch = diff.Patch
+
+// FileDiff is a single file's hunks inside a Patch.
+type FileDiff = diff.FileDiff
+
+// Hunk is one consecutive change region with context.
+type Hunk = diff.Hunk
+
+// LineKind classifies a hunk line.
+type LineKind = diff.LineKind
+
+// Hunk line kinds.
+const (
+	LineContext = diff.Context
+	LineRemoved = diff.Removed
+	LineAdded   = diff.Added
+)
+
+// ParsePatch parses git patch text (e.g. a GitHub .patch download).
+func ParsePatch(text string) (*Patch, error) { return diff.Parse(text) }
+
+// FormatPatch renders a patch back to git patch text.
+func FormatPatch(p *Patch) string { return diff.Format(p) }
+
+// ComputePatch derives a patch from before/after file snapshots
+// (path -> content), with the given number of diff context lines.
+func ComputePatch(commit, message string, before, after map[string]string, contextLines int) *Patch {
+	return diff.ComputePatch(commit, message, before, after, contextLines)
+}
+
+// FeatureDim is the dimensionality of the syntactic feature space
+// (Table I: 60 features).
+const FeatureDim = features.Dim
+
+// ExtractFeatures computes the 60-dimensional syntactic feature vector of
+// Table I for a patch. totalFiles is the pre-cleaning file count of the
+// commit (0 if unknown).
+func ExtractFeatures(p *Patch, totalFiles int) []float64 {
+	return features.Extract(p, totalFiles)
+}
+
+// FeatureNames returns the label of each feature dimension in Table I
+// order.
+func FeatureNames() []string { return features.Names() }
+
+// TokenSequence flattens a patch into the abstracted token stream consumed
+// by the RNN classifier.
+func TokenSequence(p *Patch) []string { return features.TokenSequence(p) }
+
+// AbstractTokens lexes a single line of C/C++ code and returns the
+// abstracted token strings (identifiers -> VAR/FUNC, literals -> NUM/STR).
+func AbstractTokens(line string) []string {
+	return ctoken.Abstract(ctoken.LexLine(line))
+}
+
+// Pattern is one of the 12 security patch pattern classes of Table V.
+type Pattern = corpus.Pattern
+
+// The 12 pattern classes (Table V).
+const (
+	PatternBoundCheck  = corpus.PatternBoundCheck
+	PatternNullCheck   = corpus.PatternNullCheck
+	PatternSanityCheck = corpus.PatternSanityCheck
+	PatternVarDef      = corpus.PatternVarDef
+	PatternVarValue    = corpus.PatternVarValue
+	PatternFuncDecl    = corpus.PatternFuncDecl
+	PatternFuncParam   = corpus.PatternFuncParam
+	PatternFuncCall    = corpus.PatternFuncCall
+	PatternJump        = corpus.PatternJump
+	PatternMove        = corpus.PatternMove
+	PatternRedesign    = corpus.PatternRedesign
+	PatternOther       = corpus.PatternOther
+)
+
+// NumPatterns is the number of security patch pattern classes.
+const NumPatterns = corpus.NumPatterns
+
+// CategorizePatch assigns a security patch to a pattern class using
+// syntactic rules over its code changes (the mechanical counterpart of the
+// paper's manual classification).
+func CategorizePatch(p *Patch) Pattern { return categorize.Categorize(p) }

@@ -1,0 +1,244 @@
+package patchdb
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const listing1 = `commit b84c2cab55948a5ee70860779b2640913e3ee1ed
+
+    fix stack underflow
+
+diff --git a/src/bits.c b/src/bits.c
+--- a/src/bits.c
++++ b/src/bits.c
+@@ -953,7 +953,7 @@ bit_write_UMC (Bit_Chain *dat, BITCODE_UMC val)
+       if (byte[i] & 0x7f)
+         break;
+     }
+-  if (byte[i] & 0x40)
++  if (byte[i] & 0x40 && i > 0)
+   byte[i] &= 0x7f;
+   for (j = 4; j >= i; j--)
+     {
+`
+
+func TestParseAndFeatures(t *testing.T) {
+	p, err := ParsePatch(listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ExtractFeatures(p, 0)
+	if len(v) != FeatureDim {
+		t.Fatalf("feature dim = %d", len(v))
+	}
+	names := FeatureNames()
+	if len(names) != FeatureDim {
+		t.Fatalf("names = %d", len(names))
+	}
+	if v[0] != 2 { // changed lines
+		t.Errorf("changed lines = %v", v[0])
+	}
+	if !strings.Contains(FormatPatch(p), "diff --git") {
+		t.Error("FormatPatch lost structure")
+	}
+	seq := TokenSequence(p)
+	if len(seq) == 0 {
+		t.Error("empty token sequence")
+	}
+	if got := AbstractTokens("x = f(1);"); strings.Join(got, " ") != "VAR = FUNC ( NUM ) ;" {
+		t.Errorf("AbstractTokens = %v", got)
+	}
+}
+
+func TestCategorizeListing1(t *testing.T) {
+	p, err := ParsePatch(listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CVE-2019-20912 strengthens a bound-ish conditional.
+	got := CategorizePatch(p)
+	if got != PatternBoundCheck && got != PatternSanityCheck {
+		t.Errorf("pattern = %v, want a check class", got)
+	}
+}
+
+func TestNearestLinkFacade(t *testing.T) {
+	sec := [][]float64{{0, 0}, {5, 5}}
+	wild := [][]float64{{0.1, 0}, {5, 5.1}, {99, 99}}
+	links, err := NearestLink(sec, wild, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 {
+		t.Fatalf("links = %d", len(links))
+	}
+	w := FeatureWeights(sec, wild)
+	if len(w) != 2 {
+		t.Fatalf("weights = %v", w)
+	}
+}
+
+func TestOversampleFacade(t *testing.T) {
+	src := "int f(int a)\n{\n\tif (a > 0)\n\t\treturn 1;\n\treturn 0;\n}\n"
+	file, err := ParseC(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := file.IfStmts()
+	if len(ifs) != 1 {
+		t.Fatalf("ifs = %d", len(ifs))
+	}
+	out, err := ApplyVariant(src, ifs[0], VariantOneAnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "_SYS_ONE && (a > 0)") {
+		t.Errorf("variant output:\n%s", out)
+	}
+}
+
+func TestClassifierFacades(t *testing.T) {
+	x := [][]float64{{0, 0}, {0, 1}, {5, 5}, {5, 6}, {0, 0.5}, {5, 5.5}}
+	y := []int{0, 0, 1, 1, 0, 1}
+	for name, c := range map[string]Classifier{
+		"forest":     NewRandomForest(10, 1),
+		"tree":       NewDecisionTree(4),
+		"reptree":    NewREPTree(1),
+		"logistic":   NewLogistic(),
+		"sgd":        NewSGD(1),
+		"svm":        NewSVM(1),
+		"smo":        NewSMO(1),
+		"perceptron": NewVotedPerceptron(1),
+		"bayes":      NewNaiveBayes(),
+		"bayesnet":   NewBayesNet(),
+	} {
+		if err := c.Fit(x, y); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p := c.Proba([]float64{5, 5}); p < 0 || p > 1 {
+			t.Errorf("%s proba = %v", name, p)
+		}
+	}
+	rnn := NewRNN(5, 1)
+	if err := rnn.FitTokens([][]string{{"a", "b"}, {"MARKER", "b"}}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateFacade(t *testing.T) {
+	m := Evaluate([]int{1, 0}, []int{1, 1})
+	if m.TP != 1 || m.FN != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if ci := ConfidenceInterval95(0.3, 1000); ci <= 0 {
+		t.Errorf("ci = %v", ci)
+	}
+}
+
+func TestBuildEndToEnd(t *testing.T) {
+	ds, report, err := Build(context.Background(), BuilderConfig{
+		Seed:              3,
+		NVDSize:           60,
+		NonSecuritySize:   120,
+		WildPools:         []int{800},
+		RoundsPerPool:     []int{2},
+		SyntheticPerPatch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := ds.Stats()
+	if stats.NVD == 0 || stats.NVD > 60 {
+		t.Errorf("nvd = %d", stats.NVD)
+	}
+	if stats.Wild == 0 {
+		t.Error("no wild security patches discovered")
+	}
+	if stats.NonSecurity < 120 {
+		t.Errorf("non-security = %d", stats.NonSecurity)
+	}
+	if stats.Synthetic == 0 {
+		t.Error("no synthetic patches")
+	}
+	if report.Crawl.Downloaded == 0 || report.Crawl.Entries <= report.Crawl.WithPatchRefs {
+		t.Errorf("crawl stats = %+v (feed noise entries must exist)", report.Crawl)
+	}
+	if len(report.Rounds) != 2 {
+		t.Errorf("rounds = %d", len(report.Rounds))
+	}
+	if report.HumanVerifications == 0 {
+		t.Error("no verification effort recorded")
+	}
+	// Every record's text must re-parse.
+	for _, r := range ds.SecurityPatches()[:5] {
+		if _, err := r.Patch(); err != nil {
+			t.Errorf("record %s: %v", r.ID, err)
+		}
+	}
+	// All NVD records carry CVE ids; wild ones do not.
+	for _, r := range ds.NVD {
+		if !strings.HasPrefix(r.CVE, "CVE-") {
+			t.Errorf("nvd record without CVE: %+v", r.ID)
+		}
+	}
+	for _, r := range ds.Wild {
+		if r.CVE != "" {
+			t.Errorf("wild record with CVE %q (silent patches are unindexed)", r.CVE)
+		}
+	}
+
+	// JSON round trip.
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Stats() != stats {
+		t.Errorf("round trip stats: %+v vs %+v", ds2.Stats(), stats)
+	}
+
+	// File round trip.
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := ds.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	ds3, err := LoadDatasetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds3.Stats() != stats {
+		t.Error("file round trip changed stats")
+	}
+
+	// Distribution covers only security patches.
+	dist := ds.Distribution()
+	sum := 0
+	for _, n := range dist {
+		sum += n
+	}
+	if sum != stats.NVD+stats.Wild {
+		t.Errorf("distribution total = %d, want %d", sum, stats.NVD+stats.Wild)
+	}
+}
+
+func TestBuildCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := Build(ctx, BuilderConfig{NVDSize: 5, NonSecuritySize: 10, WildPools: []int{50}, RoundsPerPool: []int{1}}); err == nil {
+		t.Error("Build with canceled context succeeded")
+	}
+}
+
+func TestComputePatchFacade(t *testing.T) {
+	p := ComputePatch("abc", "m", map[string]string{"a.c": "x\n"}, map[string]string{"a.c": "y\n"}, 3)
+	if len(p.Files) != 1 {
+		t.Fatalf("files = %d", len(p.Files))
+	}
+}

@@ -1,0 +1,81 @@
+package patchdb
+
+import (
+	"patchdb/internal/corpus"
+	"patchdb/internal/fixpattern"
+	"patchdb/internal/signature"
+)
+
+// The types below surface the paper's Sec. V usage scenarios: patch-enhanced
+// vulnerability signatures for vulnerability / patch presence detection, and
+// fix-pattern mining for automatic patch generation research.
+
+// VulnSignature is a two-sided fingerprint (vulnerable code + fix) derived
+// from a security patch.
+type VulnSignature = signature.Signature
+
+// SignatureOptions tunes signature generation.
+type SignatureOptions = signature.Options
+
+// SignatureMatcher tests target code against vulnerability signatures.
+type SignatureMatcher = signature.Matcher
+
+// MatchResult is the outcome of one presence test.
+type MatchResult = signature.MatchResult
+
+// PresenceStatus classifies target code relative to a signature.
+type PresenceStatus = signature.Status
+
+// Presence statuses.
+const (
+	PresenceUnknown    = signature.Unknown
+	PresenceVulnerable = signature.Vulnerable
+	PresencePatched    = signature.Patched
+)
+
+// GenerateSignature builds a vulnerability signature from a security patch
+// (Sec. V-A-1). It fails for patches too small or abstraction-invariant to
+// fingerprint.
+func GenerateSignature(p *Patch, cve string, opts SignatureOptions) (*VulnSignature, error) {
+	return signature.Generate(p, cve, opts)
+}
+
+// NewSignatureMatcher builds a matcher over signatures.
+func NewSignatureMatcher(sigs []*VulnSignature) *SignatureMatcher {
+	return signature.NewMatcher(sigs)
+}
+
+// FixTemplate is one mined fix pattern (Sec. V-A-2, Table VII).
+type FixTemplate = fixpattern.Template
+
+// FixPatternInput couples a security patch with its pattern class for
+// mining.
+type FixPatternInput = fixpattern.Input
+
+// FixPatternMiner extracts frequent fix templates from security patches.
+type FixPatternMiner = fixpattern.Miner
+
+// MineFixPatterns summarizes recurring fix shapes across labeled security
+// patches with default mining parameters.
+func MineFixPatterns(inputs []FixPatternInput) []FixTemplate {
+	return fixpattern.Miner{}.Mine(inputs)
+}
+
+// RenderFixPatterns prints templates grouped by class, Table VII style.
+func RenderFixPatterns(templates []FixTemplate) string {
+	return fixpattern.Render(templates)
+}
+
+// MineDatasetFixPatterns mines fix patterns directly from a dataset's
+// security patches (skipping records whose text fails to parse).
+func MineDatasetFixPatterns(d *Dataset, miner FixPatternMiner) ([]FixTemplate, error) {
+	var inputs []FixPatternInput
+	for _, r := range d.SecurityPatches() {
+		p, err := r.Patch()
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, FixPatternInput{Patch: p, Pattern: corpus.Pattern(r.Pattern)})
+	}
+	return miner.Mine(inputs), nil
+}

@@ -1,0 +1,105 @@
+package patchdb
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func buildSmall(t *testing.T) *Dataset {
+	t.Helper()
+	ds, _, err := Build(context.Background(), BuilderConfig{
+		Seed:              13,
+		NVDSize:           40,
+		NonSecuritySize:   80,
+		WildPools:         []int{500},
+		RoundsPerPool:     []int{1},
+		SyntheticPerPatch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestSignatureFacade(t *testing.T) {
+	ds := buildSmall(t)
+	var sigs []*VulnSignature
+	for _, r := range ds.NVD {
+		p, err := r.Patch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err := GenerateSignature(p, r.CVE, SignatureOptions{})
+		if err != nil {
+			continue
+		}
+		sigs = append(sigs, sig)
+	}
+	if len(sigs) == 0 {
+		t.Fatal("no signatures generated")
+	}
+	m := NewSignatureMatcher(sigs)
+	if m.Len() != len(sigs) {
+		t.Errorf("matcher len = %d", m.Len())
+	}
+	res := m.Test(sigs[0], "int unrelated(void) { return 0; }\n")
+	if res.Status != PresenceUnknown {
+		t.Errorf("unrelated code status = %v", res.Status)
+	}
+}
+
+func TestFixPatternFacade(t *testing.T) {
+	ds := buildSmall(t)
+	templates, err := MineDatasetFixPatterns(ds, FixPatternMiner{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(templates) == 0 {
+		t.Fatal("no templates mined")
+	}
+	out := RenderFixPatterns(templates)
+	if !strings.Contains(out, "Table VII") {
+		t.Error("render missing reference")
+	}
+	// The convenience wrapper with defaults works too.
+	var inputs []FixPatternInput
+	for _, r := range ds.SecurityPatches() {
+		p, err := r.Patch()
+		if err != nil {
+			continue
+		}
+		inputs = append(inputs, FixPatternInput{Patch: p, Pattern: r.Pattern})
+	}
+	_ = MineFixPatterns(inputs)
+}
+
+func TestSyntheticRecordsLabeled(t *testing.T) {
+	ds := buildSmall(t)
+	if len(ds.Synthetic) == 0 {
+		t.Fatal("no synthetic records")
+	}
+	var pos, neg int
+	for _, r := range ds.Synthetic {
+		if r.Source != "synthetic" {
+			t.Fatalf("synthetic record with source %q", r.Source)
+		}
+		if r.Security {
+			pos++
+		} else {
+			neg++
+		}
+		if !strings.Contains(r.ID, "-syn-") {
+			t.Errorf("synthetic id %q lacks variant marker", r.ID)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Errorf("synthetic labels unbalanced: %d pos, %d neg", pos, neg)
+	}
+}
+
+func TestLineKindConstants(t *testing.T) {
+	if LineContext.String() != " " || LineRemoved.String() != "-" || LineAdded.String() != "+" {
+		t.Error("line kind markers wrong")
+	}
+}
