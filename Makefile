@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race instrumentation slows the model-training tests ~10x, so the tier
+# needs more than go test's default 10m package timeout.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkExtractStage|BenchmarkBuild' -benchtime 3x .
+
+# verify is the full pre-merge tier: static analysis plus the race-enabled
+# test suite (which subsumes the plain test run).
+verify: vet race
+
+clean:
+	$(GO) clean ./...

@@ -15,8 +15,10 @@ package patchdb
 //	go run ./cmd/patchdb-bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -32,6 +34,7 @@ import (
 	"patchdb/internal/ml/neural"
 	"patchdb/internal/ml/tree"
 	"patchdb/internal/oracle"
+	"patchdb/internal/pipeline"
 )
 
 var (
@@ -283,6 +286,61 @@ func BenchmarkFeatureExtraction(b *testing.B) {
 	}
 }
 
+// benchExtractStage measures the Build pipeline's per-commit feature
+// extraction stage over a wild pool at a given worker count — the
+// before/after contrast for the concurrent pipeline (serial = Workers 1).
+func benchExtractStage(b *testing.B, workers int) {
+	b.Helper()
+	gen := corpus.NewGenerator(corpus.Config{Seed: 11})
+	pool := gen.GenerateWild(2000)
+	// Warm the per-commit diff cache so the benchmark isolates extraction.
+	for _, lc := range pool {
+		lc.Commit.Patch()
+	}
+	notify := pipeline.NewNotifier(pipeline.StageExtract, len(pool), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := mapConcurrently(context.Background(), len(pool), workers, notify,
+			func(j int) []float64 { return features.Extract(pool[j].Commit.Patch(), 0) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(pool) {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkExtractStageSerial is the pre-worker-pool baseline.
+func BenchmarkExtractStageSerial(b *testing.B) { benchExtractStage(b, 1) }
+
+// BenchmarkExtractStageParallel runs the same workload on GOMAXPROCS
+// workers; compare against BenchmarkExtractStageSerial for the stage
+// speedup.
+func BenchmarkExtractStageParallel(b *testing.B) { benchExtractStage(b, runtime.GOMAXPROCS(0)) }
+
+// benchBuildPipeline measures the whole Build at a small scale for a worker
+// count (crawl + extraction + search + augmentation, no synthesis).
+func benchBuildPipeline(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		_, _, err := Build(context.Background(), BuilderConfig{
+			Seed: 13, NVDSize: 60, NonSecuritySize: 120,
+			WildPools: []int{1500}, RoundsPerPool: []int{2},
+			Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildSerial runs the end-to-end pipeline single-worker.
+func BenchmarkBuildSerial(b *testing.B) { benchBuildPipeline(b, 1) }
+
+// BenchmarkBuildParallel runs the end-to-end pipeline at GOMAXPROCS workers.
+func BenchmarkBuildParallel(b *testing.B) { benchBuildPipeline(b, runtime.GOMAXPROCS(0)) }
+
 // BenchmarkTokenSequence measures RNN input construction.
 func BenchmarkTokenSequence(b *testing.B) {
 	p := benchPatch(b)
@@ -441,7 +499,7 @@ func BenchmarkAblationOracleNoise(b *testing.B) {
 		var report []string
 		for _, errRate := range []float64{0, 0.1, 0.3} {
 			noisy := oracle.New(labLabels(lab, pool), oracle.WithErrorRate(errRate), oracle.WithSeed(7))
-			res, err := augment.Run(seedX, pool, noisy, 1, augment.Config{MaxRounds: 1})
+			res, err := augment.Run(context.Background(), seedX, pool, noisy, 1, augment.Config{MaxRounds: 1})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"patchdb/internal/core/augment"
 	"patchdb/internal/core/oversample"
@@ -12,11 +14,36 @@ import (
 	"patchdb/internal/features"
 	"patchdb/internal/nvd"
 	"patchdb/internal/oracle"
+	"patchdb/internal/pipeline"
 )
+
+// Stage identifies one phase of the construction pipeline; see the Stage*
+// constants.
+type Stage = pipeline.Stage
+
+// The pipeline stages reported through BuilderConfig.Progress and
+// BuildReport.Stages.
+const (
+	StageCrawl      = pipeline.StageCrawl
+	StageExtract    = pipeline.StageExtract
+	StageSearch     = pipeline.StageSearch
+	StageAugment    = pipeline.StageAugment
+	StageSynthesize = pipeline.StageSynthesize
+)
+
+// StageStat is one stage's accumulated wall-clock time and item count.
+type StageStat = pipeline.StageStat
+
+// FormatStages renders BuildReport.Stages as an aligned table, one stage
+// per line.
+func FormatStages(stages []StageStat) string {
+	return pipeline.FormatStats(stages)
+}
 
 // BuilderConfig parameterizes an end-to-end PatchDB construction run.
 type BuilderConfig struct {
-	// Seed drives all randomness (corpus, augmentation, synthesis).
+	// Seed drives all randomness (corpus, augmentation, synthesis). The
+	// same Seed yields an identical dataset regardless of Workers.
 	Seed int64
 	// NVDSize is the number of NVD-indexed security patches (paper: 4076).
 	NVDSize int
@@ -25,15 +52,30 @@ type BuilderConfig struct {
 	// WildPools are the unlabeled pool sizes searched in sequence
 	// (paper: 100K, 200K, 200K).
 	WildPools []int
-	// RoundsPerPool bounds rounds per pool (paper: 3, 1, 1). Must have the
-	// same length as WildPools.
+	// RoundsPerPool bounds rounds per pool (paper: 3, 1, 1). Empty uses the
+	// paper schedule (3 for the first pool, 1 for the rest); any other
+	// length than len(WildPools) is an error.
 	RoundsPerPool []int
 	// SyntheticPerPatch caps synthetic variants per natural patch
 	// (0 disables synthesis).
 	SyntheticPerPatch int
 	// FeedNoise adds CVE entries without usable patch links, modeling the
-	// NVD's incomplete references (default 0.1 of NVDSize).
+	// NVD's incomplete references, as a fraction of NVDSize. Zero means the
+	// default (0.1); any negative value disables feed noise entirely.
 	FeedNoise float64
+	// RatioThreshold is the augmentation loop's early-exit threshold: a
+	// round whose verified-security ratio falls below it ends the pool's
+	// schedule. Zero means the default (0.01); any negative value disables
+	// the early exit, so every scheduled round runs.
+	RatioThreshold float64
+	// Workers bounds the concurrency of the crawl's fetch stage, per-commit
+	// feature extraction, and the nearest link search (default: GOMAXPROCS).
+	// The output is identical for any worker count.
+	Workers int
+	// Progress, when non-nil, observes pipeline advancement per stage. It
+	// is called synchronously from pipeline goroutines and must be cheap
+	// and safe for concurrent use.
+	Progress pipeline.Progress
 }
 
 func (c BuilderConfig) withDefaults() BuilderConfig {
@@ -47,15 +89,24 @@ func (c BuilderConfig) withDefaults() BuilderConfig {
 		c.WildPools = []int{8000, 16000, 16000}
 		c.RoundsPerPool = []int{3, 1, 1}
 	}
-	if len(c.RoundsPerPool) != len(c.WildPools) {
+	if len(c.RoundsPerPool) == 0 {
 		c.RoundsPerPool = make([]int, len(c.WildPools))
 		for i := range c.RoundsPerPool {
 			c.RoundsPerPool[i] = 1
 		}
 		c.RoundsPerPool[0] = 3
 	}
-	if c.FeedNoise <= 0 {
+	switch {
+	case c.FeedNoise == 0:
 		c.FeedNoise = 0.1
+	case c.FeedNoise < 0:
+		c.FeedNoise = 0 // explicit disable
+	}
+	if c.RatioThreshold == 0 {
+		c.RatioThreshold = 0.01
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -64,10 +115,14 @@ func (c BuilderConfig) withDefaults() BuilderConfig {
 type BuildReport struct {
 	// Crawl summarizes the NVD crawl.
 	Crawl nvd.CrawlStats
-	// Rounds is the per-round augmentation accounting (Table II).
+	// Rounds is the per-round augmentation accounting (Table II), including
+	// each round's nearest-link search time.
 	Rounds []AugmentRound
 	// HumanVerifications counts simulated manual inspections.
 	HumanVerifications int
+	// Stages is the per-stage wall-clock and item accounting of the run,
+	// in pipeline order.
+	Stages []StageStat
 }
 
 // Build runs the full PatchDB pipeline against a simulated world: it
@@ -75,11 +130,24 @@ type BuildReport struct {
 // loopback HTTP, crawls it, augments the dataset with nearest link search
 // and (simulated) human verification, and synthesizes patch variants.
 //
+// The crawl's fetch stage, per-commit feature extraction, and the nearest
+// link search all run on worker pools bounded by cfg.Workers; the resulting
+// dataset is a pure function of cfg.Seed regardless of the worker count.
+// ctx is honored across every stage: cancellation aborts the crawl, the
+// extraction pools, augmentation rounds, and synthesis with a wrapped
+// context error.
+//
 // The returned dataset mirrors the paper's structure: NVD-based, wild-based,
 // cleaned non-security, and synthetic components.
 func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, error) {
+	if len(cfg.RoundsPerPool) != 0 && len(cfg.WildPools) != 0 &&
+		len(cfg.RoundsPerPool) != len(cfg.WildPools) {
+		return nil, nil, fmt.Errorf("build: RoundsPerPool has %d entries for %d wild pools",
+			len(cfg.RoundsPerPool), len(cfg.WildPools))
+	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed + 9000))
+	metrics := &pipeline.Metrics{}
 
 	gen := corpus.NewGenerator(corpus.Config{Seed: cfg.Seed})
 	nvdCommits := gen.GenerateNVD(cfg.NVDSize)
@@ -130,18 +198,43 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 			}},
 		})
 	}
-	crawler := &nvd.Crawler{BaseURL: baseURL}
+	crawler := &nvd.Crawler{
+		BaseURL:     baseURL,
+		Concurrency: cfg.Workers,
+	}
+	if cfg.Progress != nil {
+		crawler.Progress = func(done, total int) {
+			cfg.Progress(StageCrawl, done, total)
+		}
+	}
+	stopCrawl := metrics.Timer(StageCrawl)
 	crawled, crawlStats, err := crawler.Crawl(ctx)
 	if err != nil {
 		return nil, nil, fmt.Errorf("build: crawl: %w", err)
 	}
+	stopCrawl(crawlStats.Downloaded)
 
 	report := &BuildReport{Crawl: crawlStats}
 	ds := &Dataset{}
 
-	// NVD-based dataset from the crawled patches.
+	// Total extraction workload: the crawled seed plus every pool commit.
+	extractTotal := len(crawled)
+	for _, pool := range pools {
+		extractTotal += len(pool)
+	}
+	extractNotify := pipeline.NewNotifier(StageExtract, extractTotal, cfg.Progress)
+
+	// NVD-based dataset from the crawled patches; feature extraction runs
+	// on the worker pool, record assembly stays in feed order.
+	stopExtract := metrics.Timer(StageExtract)
+	crawledFeatures, err := mapConcurrently(ctx, len(crawled), cfg.Workers, extractNotify,
+		func(i int) []float64 { return features.Extract(crawled[i].Patch, 0) })
+	if err != nil {
+		return nil, nil, fmt.Errorf("build: extract nvd features: %w", err)
+	}
+	stopExtract(len(crawled))
 	seedFeatures := make([][]float64, 0, len(crawled))
-	for _, cp := range crawled {
+	for i, cp := range crawled {
 		lc, ok := byHash[cp.Hash]
 		if !ok {
 			continue
@@ -150,7 +243,7 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 			ID: cp.Hash, Repo: cp.Repo, CVE: cp.CVE, Security: true,
 			Pattern: lc.Pattern, Source: "nvd", Text: diff.Format(cp.Patch),
 		})
-		seedFeatures = append(seedFeatures, features.Extract(cp.Patch, 0))
+		seedFeatures = append(seedFeatures, crawledFeatures[i])
 	}
 
 	// Initial cleaned non-security dataset.
@@ -162,19 +255,42 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 	}
 
 	// Wild-based dataset via augmentation rounds.
+	totalRounds := 0
+	for _, r := range cfg.RoundsPerPool {
+		totalRounds += r
+	}
+	augmentNotify := pipeline.NewNotifier(StageAugment, totalRounds, cfg.Progress)
 	round := 1
 	for i, pool := range pools {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("build: canceled before pool %d: %w", i+1, err)
+		}
+		stopExtract := metrics.Timer(StageExtract)
+		poolFeatures, err := mapConcurrently(ctx, len(pool), cfg.Workers, extractNotify,
+			func(j int) []float64 { return features.Extract(pool[j].Commit.Patch(), 0) })
+		if err != nil {
+			return nil, nil, fmt.Errorf("build: extract pool %d features: %w", i+1, err)
+		}
+		stopExtract(len(pool))
 		items := make([]augment.Item, len(pool))
 		for j, lc := range pool {
-			items[j] = augment.Item{ID: lc.Commit.Hash, Features: features.Extract(lc.Commit.Patch(), 0)}
+			items[j] = augment.Item{ID: lc.Commit.Hash, Features: poolFeatures[j]}
 		}
-		res, err := augment.Run(seedFeatures, items, verifier, round, augment.Config{
+
+		stopAugment := metrics.Timer(StageAugment)
+		res, err := augment.Run(ctx, seedFeatures, items, verifier, round, augment.Config{
 			MaxRounds:      cfg.RoundsPerPool[i],
-			RatioThreshold: 0.01,
+			RatioThreshold: cfg.RatioThreshold,
+			Workers:        cfg.Workers,
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("build: %w", err)
 		}
+		stopAugment(len(res.Rounds))
+		for _, r := range res.Rounds {
+			metrics.Observe(StageSearch, r.SearchTime, r.SearchRange)
+		}
+		augmentNotify.Done(len(res.Rounds))
 		report.Rounds = append(report.Rounds, res.Rounds...)
 		round += len(res.Rounds)
 		seedFeatures = res.SeedFeatures
@@ -197,11 +313,18 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 
 	// Synthetic dataset via source-level oversampling.
 	if cfg.SyntheticPerPatch > 0 {
+		synthTotal := len(ds.NVD) + len(ds.Wild) + len(ds.NonSecurity)
+		synthNotify := pipeline.NewNotifier(StageSynthesize, synthTotal, cfg.Progress)
+		stopSynth := metrics.Timer(StageSynthesize)
 		ov := &oversample.Oversampler{MaxPerPatch: cfg.SyntheticPerPatch, Rand: rng}
 		synthesize := func(recs []Record, security bool) error {
 			for _, r := range recs {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("build: synthesis canceled: %w", err)
+				}
 				lc, ok := byHash[r.ID]
 				if !ok {
+					synthNotify.Done(1)
 					continue
 				}
 				syns, err := ov.Synthesize(lc.Commit.Hash, lc.Commit.Before, lc.Commit.After)
@@ -214,6 +337,7 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 						Pattern: r.Pattern, Source: "synthetic", Text: diff.Format(s.Patch),
 					})
 				}
+				synthNotify.Done(1)
 			}
 			return nil
 		}
@@ -226,8 +350,53 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 		if err := synthesize(ds.NonSecurity, false); err != nil {
 			return nil, nil, err
 		}
+		stopSynth(len(ds.Synthetic))
 	}
+	report.Stages = metrics.Snapshot()
 	return ds, report, nil
+}
+
+// mapConcurrently computes fn(i) for i in [0, n) on a bounded worker pool,
+// returning the results indexed by i — the output is deterministic for any
+// worker count. It stops early (returning a wrapped context error) when ctx
+// is canceled, and reports per-item completion to notify.
+func mapConcurrently[T any](ctx context.Context, n, workers int, notify *pipeline.Notifier, fn func(int) T) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if ctx.Err() != nil {
+					continue // drain without computing
+				}
+				out[i] = fn(i)
+				notify.Done(1)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func pickSeverity(rng *rand.Rand) string {

@@ -1,5 +1,6 @@
 // Command patchdb-bench reproduces every data-bearing table and figure of
-// the PatchDB paper and prints them in the paper's layout.
+// the PatchDB paper and prints them in the paper's layout, plus a BUILD
+// experiment that times the concurrent end-to-end construction pipeline.
 //
 // Usage:
 //
@@ -7,15 +8,19 @@
 //	patchdb-bench -scale small    # fast run
 //	patchdb-bench -scale paper    # the paper's dataset sizes (slow)
 //	patchdb-bench -only II,III    # a subset of experiments
+//	patchdb-bench -only BUILD     # end-to-end pipeline with stage timings
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
+	"patchdb"
 	"patchdb/internal/experiments"
 )
 
@@ -29,8 +34,9 @@ func main() {
 func run() error {
 	var (
 		scaleName = flag.String("scale", "default", "experiment scale: small, default, or paper")
-		only      = flag.String("only", "", "comma-separated experiment ids (II,III,IV,V,VI,VII,F6); empty = all")
+		only      = flag.String("only", "", "comma-separated experiment ids (II,III,IV,V,VI,VII,F6,BUILD); empty = all")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "BUILD experiment worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -74,6 +80,7 @@ func run() error {
 		{"F6", func() (fmt.Stringer, error) { return lab.RunFigure6() }},
 		{"VI", func() (fmt.Stringer, error) { return lab.RunTableVI() }},
 		{"VII", func() (fmt.Stringer, error) { return lab.RunTableVII() }},
+		{"BUILD", func() (fmt.Stringer, error) { return runBuild(scale, *workers) }},
 	}
 	for _, e := range all {
 		if !selected(e.id) {
@@ -89,4 +96,62 @@ func run() error {
 	}
 	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
 	return nil
+}
+
+// buildResult renders the BUILD experiment: the Table II-style round rows
+// plus the per-stage pipeline accounting.
+type buildResult struct {
+	stats  patchdb.Stats
+	report *patchdb.BuildReport
+}
+
+func (b buildResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("BUILD: end-to-end construction pipeline\n")
+	for _, r := range b.report.Rounds {
+		fmt.Fprintf(&sb, "  %s (search %s)\n", r, r.SearchTime.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&sb, "  dataset: nvd=%d wild=%d non-security=%d synthetic=%d (verifications: %d)\n",
+		b.stats.NVD, b.stats.Wild, b.stats.NonSecurity, b.stats.Synthetic,
+		b.report.HumanVerifications)
+	sb.WriteString("  stage timings:\n")
+	for _, line := range strings.Split(patchdb.FormatStages(b.report.Stages), "\n") {
+		sb.WriteString("    " + line + "\n")
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// runBuild executes the full concurrent pipeline at the scale's sizes,
+// rendering live per-stage progress on stderr.
+func runBuild(scale experiments.Scale, workers int) (fmt.Stringer, error) {
+	var mu sync.Mutex
+	lastPct := map[patchdb.Stage]int{}
+	ds, report, err := patchdb.Build(context.Background(), patchdb.BuilderConfig{
+		Seed:            scale.Seed,
+		NVDSize:         scale.NVDSeed,
+		NonSecuritySize: scale.NonSecSeed,
+		WildPools:       []int{scale.SetI, scale.SetII, scale.SetIII},
+		RoundsPerPool:   []int{3, 1, 1},
+		Workers:         workers,
+		Progress: func(stage patchdb.Stage, done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			pct := 100
+			if total > 0 {
+				pct = 100 * done / total
+			}
+			if p, ok := lastPct[stage]; ok && p == pct && done != total {
+				return
+			}
+			lastPct[stage] = pct
+			fmt.Fprintf(os.Stderr, "\r%-10s %d/%d (%d%%)   ", stage, done, total, pct)
+			if done >= total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buildResult{stats: ds.Stats(), report: report}, nil
 }

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	patchdb-build -out patchdb.json -nvd 400 -pools 8000,16000,16000 -synthetic 4
+//	patchdb-build -workers 16 -progress          # parallel run with a live stage view
+//	patchdb-build -feed-noise=-1 -ratio-threshold=-1  # disable noise and early exit
 package main
 
 import (
@@ -12,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 
 	"patchdb"
 )
@@ -34,6 +38,10 @@ func run() error {
 		pools     = flag.String("pools", "8000,16000,16000", "comma-separated wild pool sizes")
 		rounds    = flag.String("rounds", "3,1,1", "comma-separated rounds per pool")
 		synthetic = flag.Int("synthetic", 4, "synthetic variants per natural patch (0 disables)")
+		workers   = flag.Int("workers", 0, "worker-pool size for crawl/extraction/search (0 = GOMAXPROCS)")
+		noise     = flag.Float64("feed-noise", 0, "CVE entries without patch links, as a fraction of -nvd (0 = default 0.1, negative disables)")
+		threshold = flag.Float64("ratio-threshold", 0, "augmentation early-exit ratio (0 = default 0.01, negative disables)")
+		progress  = flag.Bool("progress", false, "render live per-stage progress on stderr")
 	)
 	flag.Parse()
 
@@ -46,14 +54,27 @@ func run() error {
 		return fmt.Errorf("parse -rounds: %w", err)
 	}
 
-	ds, report, err := patchdb.Build(context.Background(), patchdb.BuilderConfig{
+	cfg := patchdb.BuilderConfig{
 		Seed:              *seed,
 		NVDSize:           *nvdSize,
 		NonSecuritySize:   *nonSec,
 		WildPools:         poolSizes,
 		RoundsPerPool:     roundCounts,
 		SyntheticPerPatch: *synthetic,
-	})
+		FeedNoise:         *noise,
+		RatioThreshold:    *threshold,
+		Workers:           *workers,
+	}
+	if *progress {
+		cfg.Progress = progressRenderer(os.Stderr)
+	}
+
+	// Ctrl-C cancels the pipeline cleanly (Build checks the context between
+	// rounds, records, and fetches); a second interrupt kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	ds, report, err := patchdb.Build(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -66,12 +87,39 @@ func run() error {
 	stats := ds.Stats()
 	fmt.Printf("dataset: nvd=%d wild=%d non-security=%d synthetic=%d (verifications: %d)\n",
 		stats.NVD, stats.Wild, stats.NonSecurity, stats.Synthetic, report.HumanVerifications)
+	fmt.Println("stage timings:")
+	fmt.Println(patchdb.FormatStages(report.Stages))
 
 	if err := ds.SaveJSON(*out); err != nil {
 		return err
 	}
 	fmt.Println("wrote", *out)
 	return nil
+}
+
+// progressRenderer returns a Progress callback that repaints one status line
+// per stage transition or whole-percent change. It throttles to percent
+// granularity because the builder reports per item and the extract stage can
+// cover hundreds of thousands of commits.
+func progressRenderer(w *os.File) func(patchdb.Stage, int, int) {
+	var mu sync.Mutex
+	lastPct := map[patchdb.Stage]int{}
+	return func(stage patchdb.Stage, done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		pct := 100
+		if total > 0 {
+			pct = 100 * done / total
+		}
+		if p, ok := lastPct[stage]; ok && p == pct && done != total {
+			return
+		}
+		lastPct[stage] = pct
+		fmt.Fprintf(w, "\r%-10s %d/%d (%d%%)   ", stage, done, total, pct)
+		if done >= total {
+			fmt.Fprintln(w)
+		}
+	}
 }
 
 func parseInts(csv string) ([]int, error) {

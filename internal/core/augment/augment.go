@@ -6,8 +6,10 @@
 package augment
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"patchdb/internal/core/nearestlink"
 )
@@ -32,7 +34,9 @@ type Config struct {
 	// paper's Set I schedule).
 	MaxRounds int
 	// RatioThreshold exits the loop when the verified-security ratio of a
-	// round falls below it (default 0.05).
+	// round falls below it. Zero means the default (0.05); any negative
+	// value disables the early exit entirely, so all MaxRounds rounds run
+	// regardless of how the ratio develops.
 	RatioThreshold float64
 	// Workers for the nearest link search.
 	Workers int
@@ -42,7 +46,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxRounds <= 0 {
 		c.MaxRounds = 3
 	}
-	if c.RatioThreshold <= 0 {
+	if c.RatioThreshold == 0 {
 		c.RatioThreshold = 0.05
 	}
 	return c
@@ -55,6 +59,8 @@ type Round struct {
 	Candidates  int
 	Verified    int // candidates verified as security patches
 	Ratio       float64
+	// SearchTime is the wall-clock cost of the round's nearest link search.
+	SearchTime time.Duration
 }
 
 // String renders the round like a Table II row.
@@ -83,8 +89,9 @@ var ErrEmptyPool = errors.New("augment: empty wild pool")
 // feature vectors of already-verified security patches; it is enlarged as
 // rounds discover new positives. Verified candidates (either label) leave
 // the pool. startRound numbers the produced rounds (Table II numbers rounds
-// across pools).
-func Run(seed [][]float64, pool []Item, verifier Verifier, startRound int, cfg Config) (*Result, error) {
+// across pools). ctx is checked between rounds and between verifications;
+// cancellation aborts the run with a wrapped context error.
+func Run(ctx context.Context, seed [][]float64, pool []Item, verifier Verifier, startRound int, cfg Config) (*Result, error) {
 	if len(pool) == 0 {
 		return nil, ErrEmptyPool
 	}
@@ -97,12 +104,16 @@ func Run(seed [][]float64, pool []Item, verifier Verifier, startRound int, cfg C
 	active := append([]Item(nil), pool...)
 
 	for round := 0; round < cfg.MaxRounds && len(active) > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("augment: canceled before round %d: %w", startRound+round, err)
+		}
 		wildX := make([][]float64, len(active))
 		for i, it := range active {
 			wildX[i] = it.Features
 		}
+		var searchStats nearestlink.Stats
 		links, err := nearestlink.Search(res.SeedFeatures, wildX,
-			&nearestlink.Options{Workers: cfg.Workers})
+			&nearestlink.Options{Workers: cfg.Workers, Stats: &searchStats})
 		if err != nil {
 			return nil, fmt.Errorf("augment round %d: %w", startRound+round, err)
 		}
@@ -111,9 +122,13 @@ func Run(seed [][]float64, pool []Item, verifier Verifier, startRound int, cfg C
 			Round:       startRound + round,
 			SearchRange: len(active),
 			Candidates:  len(links),
+			SearchTime:  searchStats.Duration,
 		}
 		selected := make(map[int]bool, len(links))
 		for _, l := range links {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("augment: canceled during round %d verification: %w", r.Round, err)
+			}
 			selected[l.Wild] = true
 			item := active[l.Wild]
 			if verifier.Verify(item.ID) {
@@ -138,7 +153,9 @@ func Run(seed [][]float64, pool []Item, verifier Verifier, startRound int, cfg C
 		}
 		active = next
 
-		if r.Ratio < cfg.RatioThreshold {
+		// A negative threshold disables the early exit (the loop judgment
+		// of Fig. 2 runs all scheduled rounds).
+		if cfg.RatioThreshold > 0 && r.Ratio < cfg.RatioThreshold {
 			break
 		}
 	}

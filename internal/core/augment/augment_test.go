@@ -1,6 +1,8 @@
 package augment
 
 import (
+	"context"
+	"errors"
 	"strconv"
 	"testing"
 
@@ -41,7 +43,7 @@ func world(nSeed, nPos, nNeg int) (seed [][]float64, pool []Item, truth map[stri
 func TestRunDiscoversPositives(t *testing.T) {
 	seed, pool, truth := world(5, 20, 100)
 	v := &mapVerifier{truth: truth}
-	res, err := Run(seed, pool, v, 1, Config{MaxRounds: 3})
+	res, err := Run(context.Background(), seed, pool, v, 1, Config{MaxRounds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func TestRunDiscoversPositives(t *testing.T) {
 func TestRunRemovesVerifiedFromPool(t *testing.T) {
 	seed, pool, truth := world(10, 10, 10)
 	v := &mapVerifier{truth: truth}
-	res, err := Run(seed, pool, v, 1, Config{MaxRounds: 5, RatioThreshold: 0.0001})
+	res, err := Run(context.Background(), seed, pool, v, 1, Config{MaxRounds: 5, RatioThreshold: 0.0001})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +98,7 @@ func TestRunStopsOnLowRatio(t *testing.T) {
 	// negatives, driving the ratio to 0 and stopping the loop.
 	seed, pool, truth := world(10, 10, 200)
 	v := &mapVerifier{truth: truth}
-	res, err := Run(seed, pool, v, 1, Config{MaxRounds: 10, RatioThreshold: 0.3})
+	res, err := Run(context.Background(), seed, pool, v, 1, Config{MaxRounds: 10, RatioThreshold: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,10 +112,10 @@ func TestRunStopsOnLowRatio(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := Run([][]float64{{1}}, nil, &mapVerifier{}, 1, Config{}); err != ErrEmptyPool {
+	if _, err := Run(context.Background(), [][]float64{{1}}, nil, &mapVerifier{}, 1, Config{}); err != ErrEmptyPool {
 		t.Errorf("empty pool err = %v", err)
 	}
-	if _, err := Run(nil, []Item{{ID: "a", Features: []float64{1}}}, &mapVerifier{}, 1, Config{}); err != nearestlink.ErrNoSecurityPatches {
+	if _, err := Run(context.Background(), nil, []Item{{ID: "a", Features: []float64{1}}}, &mapVerifier{}, 1, Config{}); err != nearestlink.ErrNoSecurityPatches {
 		t.Errorf("empty seed err = %v", err)
 	}
 }
@@ -121,7 +123,7 @@ func TestRunErrors(t *testing.T) {
 func TestRoundNumbering(t *testing.T) {
 	seed, pool, truth := world(3, 10, 10)
 	v := &mapVerifier{truth: truth}
-	res, err := Run(seed, pool, v, 4, Config{MaxRounds: 2, RatioThreshold: 0.0001})
+	res, err := Run(context.Background(), seed, pool, v, 4, Config{MaxRounds: 2, RatioThreshold: 0.0001})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,5 +132,149 @@ func TestRoundNumbering(t *testing.T) {
 	}
 	if s := res.Rounds[0].String(); s == "" {
 		t.Error("empty round string")
+	}
+}
+
+// negWorld builds a world where every pool item is a non-security patch, so
+// every round's ratio is 0.
+func negWorld(nSeed, nNeg int) (seed [][]float64, pool []Item, truth map[string]bool) {
+	truth = make(map[string]bool)
+	for i := 0; i < nSeed; i++ {
+		seed = append(seed, []float64{float64(i) * 0.01})
+	}
+	for i := 0; i < nNeg; i++ {
+		id := "neg" + strconv.Itoa(i)
+		pool = append(pool, Item{ID: id, Features: []float64{1 + float64(i)*0.01}})
+		truth[id] = false
+	}
+	return seed, pool, truth
+}
+
+func TestRunEarlyExitBelowThreshold(t *testing.T) {
+	seed, pool, truth := negWorld(5, 40)
+	v := &mapVerifier{truth: truth}
+	res, err := Run(context.Background(), seed, pool, v, 1, Config{MaxRounds: 5, RatioThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 1 {
+		t.Fatalf("rounds = %d, want 1 (ratio 0 < threshold must exit after round 1)", len(res.Rounds))
+	}
+	if res.Rounds[0].Ratio != 0 {
+		t.Errorf("ratio = %v", res.Rounds[0].Ratio)
+	}
+}
+
+func TestRunZeroThresholdUsesDefault(t *testing.T) {
+	// Explicit zero is the unset value and takes the 0.05 default — the
+	// all-negative world exits after one round.
+	seed, pool, truth := negWorld(5, 40)
+	v := &mapVerifier{truth: truth}
+	res, err := Run(context.Background(), seed, pool, v, 1, Config{MaxRounds: 4, RatioThreshold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 1 {
+		t.Fatalf("rounds = %d, want 1 under the default threshold", len(res.Rounds))
+	}
+}
+
+func TestRunNegativeThresholdDisablesEarlyExit(t *testing.T) {
+	seed, pool, truth := negWorld(5, 40)
+	v := &mapVerifier{truth: truth}
+	res, err := Run(context.Background(), seed, pool, v, 1, Config{MaxRounds: 4, RatioThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 4 {
+		t.Fatalf("rounds = %d, want all 4 (negative threshold disables loop judgment)", len(res.Rounds))
+	}
+	// 5 seed rows select 5 candidates per round; all leave the pool.
+	if got := len(res.NonSecurityIDs); got != 20 {
+		t.Errorf("non-security verified = %d, want 20", got)
+	}
+}
+
+func TestRunPoolBookkeepingAfterCollisions(t *testing.T) {
+	// Every pool item has identical features, so every round's nearest link
+	// search resolves column collisions for all but the first seed row. The
+	// bookkeeping must still remove each verified candidate exactly once.
+	truth := make(map[string]bool)
+	var seed [][]float64
+	for i := 0; i < 4; i++ {
+		seed = append(seed, []float64{0})
+	}
+	var pool []Item
+	for i := 0; i < 10; i++ {
+		id := "dup" + strconv.Itoa(i)
+		pool = append(pool, Item{ID: id, Features: []float64{0.5}})
+		truth[id] = i%2 == 0
+	}
+	v := &mapVerifier{truth: truth}
+	res, err := Run(context.Background(), seed, pool, v, 1, Config{MaxRounds: 10, RatioThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, id := range append(append([]string{}, res.SecurityIDs...), res.NonSecurityIDs...) {
+		if seen[id] {
+			t.Fatalf("candidate %q verified twice after collisions", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("verified %d distinct candidates, want the whole pool (10)", len(seen))
+	}
+	if v.inspected != 10 {
+		t.Errorf("inspections = %d, want 10", v.inspected)
+	}
+}
+
+func TestRunRoundNumberingAcrossPools(t *testing.T) {
+	// Table II numbers rounds continuously across pools: the builder chains
+	// startRound = 1 + rounds so far. Verify the continuity end-to-end.
+	seedA, poolA, truthA := world(3, 6, 6)
+	v := &mapVerifier{truth: truthA}
+	resA, err := Run(context.Background(), seedA, poolA, v, 1, Config{MaxRounds: 2, RatioThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, poolB, truthB := world(3, 6, 6)
+	for id, sec := range truthB {
+		truthA[id] = sec
+	}
+	resB, err := Run(context.Background(), resA.SeedFeatures, poolB, v, 1+len(resA.Rounds), Config{MaxRounds: 2, RatioThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nums []int
+	for _, r := range append(append([]Round{}, resA.Rounds...), resB.Rounds...) {
+		nums = append(nums, r.Round)
+	}
+	for i, n := range nums {
+		if n != i+1 {
+			t.Fatalf("round numbering = %v, want 1..%d contiguous", nums, len(nums))
+		}
+	}
+}
+
+func TestRunCanceled(t *testing.T) {
+	seed, pool, truth := world(3, 5, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, seed, pool, &mapVerifier{truth: truth}, 1, Config{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestRunRecordsSearchTime(t *testing.T) {
+	seed, pool, truth := world(5, 10, 10)
+	res, err := Run(context.Background(), seed, pool, &mapVerifier{truth: truth}, 1, Config{MaxRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds[0].SearchTime <= 0 {
+		t.Errorf("search time = %v, want > 0", res.Rounds[0].SearchTime)
 	}
 }

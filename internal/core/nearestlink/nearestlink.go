@@ -12,9 +12,11 @@ package nearestlink
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Link pairs the m-th verified security patch with its selected wild patch.
@@ -34,6 +36,20 @@ type Options struct {
 	// DisableNormalization skips the max-abs weighting (ablation only; the
 	// paper always normalizes).
 	DisableNormalization bool
+	// Stats, when non-nil, is filled with search accounting (timing,
+	// rescans) on return.
+	Stats *Stats
+}
+
+// Stats is the accounting of one Search call.
+type Stats struct {
+	// SecurityRows and WildCols are the problem dimensions.
+	SecurityRows, WildCols int
+	// Rescans counts column-collision row rescans (Algorithm 1 lines
+	// 10-15); near-zero means the greedy pass ran close to O(MN).
+	Rescans int
+	// Duration is the wall-clock time of the search.
+	Duration time.Duration
 }
 
 // ErrNoWildPatches is returned when the unlabeled pool is empty.
@@ -41,6 +57,35 @@ var ErrNoWildPatches = errors.New("nearestlink: empty wild pool")
 
 // ErrNoSecurityPatches is returned when the verified set is empty.
 var ErrNoSecurityPatches = errors.New("nearestlink: empty security set")
+
+// ErrDimensionMismatch is returned (wrapped, with row detail) when feature
+// rows do not all share one dimensionality.
+var ErrDimensionMismatch = errors.New("nearestlink: feature dimension mismatch")
+
+// validateDims checks that every row of every set has the dimensionality of
+// the first row seen. Without this check, Weights and dist2 index past the
+// end of short rows and panic.
+func validateDims(sets ...[][]float64) error {
+	dim := -1
+	names := []string{"security", "wild"}
+	for s, set := range sets {
+		name := "set"
+		if s < len(names) {
+			name = names[s]
+		}
+		for i, row := range set {
+			if dim == -1 {
+				dim = len(row)
+				continue
+			}
+			if len(row) != dim {
+				return fmt.Errorf("%w: %s row %d has %d features, want %d",
+					ErrDimensionMismatch, name, i, len(row), dim)
+			}
+		}
+	}
+	return nil
+}
 
 // Weights computes the per-dimension max-abs weights w_j = 1/max|a_j| over
 // all provided rows (paper Sec. III-B-2).
@@ -105,6 +150,9 @@ func Search(security, wild [][]float64, opts *Options) ([]Link, error) {
 	if len(wild) == 0 {
 		return nil, ErrNoWildPatches
 	}
+	if err := validateDims(security, wild); err != nil {
+		return nil, err
+	}
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -112,6 +160,8 @@ func Search(security, wild [][]float64, opts *Options) ([]Link, error) {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	start := time.Now()
+	rescans := 0
 
 	sec, wld := security, wild
 	if !o.DisableNormalization {
@@ -185,6 +235,7 @@ func Search(security, wild [][]float64, opts *Options) ([]Link, error) {
 		if n0 < 0 || used[n0] {
 			// Column collision: rescan this row over unused columns
 			// (Algorithm 1 lines 10-15).
+			rescans++
 			d, j := rowMin(m0, used)
 			if j < 0 {
 				done[m0] = true
@@ -198,6 +249,14 @@ func Search(security, wild [][]float64, opts *Options) ([]Link, error) {
 		done[m0] = true
 		links = append(links, Link{Security: m0, Wild: n0, Distance: math.Sqrt(u[m0])})
 		assigned++
+	}
+	if o.Stats != nil {
+		*o.Stats = Stats{
+			SecurityRows: m,
+			WildCols:     n,
+			Rescans:      rescans,
+			Duration:     time.Since(start),
+		}
 	}
 	return links, nil
 }
@@ -222,6 +281,9 @@ func KNNSelect(security, wild [][]float64, opts *Options) ([]int, error) {
 	if len(wild) == 0 {
 		return nil, ErrNoWildPatches
 	}
+	if err := validateDims(security, wild); err != nil {
+		return nil, err
+	}
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -229,6 +291,7 @@ func KNNSelect(security, wild [][]float64, opts *Options) ([]int, error) {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	start := time.Now()
 	sec, wld := security, wild
 	if !o.DisableNormalization {
 		w := Weights(security, wild)
@@ -267,6 +330,13 @@ func KNNSelect(security, wild [][]float64, opts *Options) ([]int, error) {
 		if j >= 0 && !seen[j] {
 			seen[j] = true
 			out = append(out, j)
+		}
+	}
+	if o.Stats != nil {
+		*o.Stats = Stats{
+			SecurityRows: m,
+			WildCols:     len(wld),
+			Duration:     time.Since(start),
 		}
 	}
 	return out, nil

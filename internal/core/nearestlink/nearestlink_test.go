@@ -1,8 +1,10 @@
 package nearestlink
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -105,6 +107,60 @@ func TestSearchErrors(t *testing.T) {
 	}
 	if _, err := Search([][]float64{{1}}, nil, nil); err != ErrNoWildPatches {
 		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSearchDimensionMismatch(t *testing.T) {
+	// A short wild row used to panic inside Weights/dist2; it must now
+	// surface as a descriptive error.
+	sec := [][]float64{{1, 2}, {3, 4}}
+	wild := [][]float64{{1, 2}, {3}}
+	if _, err := Search(sec, wild, nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Search err = %v, want ErrDimensionMismatch", err)
+	} else if !strings.Contains(err.Error(), "wild row 1") {
+		t.Errorf("error lacks row detail: %v", err)
+	}
+	// Mismatch inside the security set itself.
+	if _, err := Search([][]float64{{1, 2}, {3, 4, 5}}, [][]float64{{1, 2}}, nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("security mismatch err = %v", err)
+	}
+	if _, err := KNNSelect(sec, wild, nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("KNNSelect err = %v, want ErrDimensionMismatch", err)
+	}
+	// Matching dims still succeed with normalization disabled too.
+	if _, err := Search(sec, [][]float64{{5, 6}}, &Options{DisableNormalization: true}); err != nil {
+		t.Errorf("valid dims err = %v", err)
+	}
+}
+
+func TestSearchStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sec := randRows(rng, 20, 4)
+	wild := randRows(rng, 80, 4)
+	var st Stats
+	links, err := Search(sec, wild, &Options{Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SecurityRows != 20 || st.WildCols != 80 {
+		t.Errorf("stats dims = %+v", st)
+	}
+	if st.Duration <= 0 {
+		t.Errorf("duration = %v", st.Duration)
+	}
+	if st.Rescans < 0 {
+		t.Errorf("rescans = %d", st.Rescans)
+	}
+	if len(links) != 20 {
+		t.Errorf("links = %d", len(links))
+	}
+
+	var kst Stats
+	if _, err := KNNSelect(sec, wild, &Options{Stats: &kst}); err != nil {
+		t.Fatal(err)
+	}
+	if kst.SecurityRows != 20 || kst.WildCols != 80 || kst.Duration <= 0 {
+		t.Errorf("knn stats = %+v", kst)
 	}
 }
 

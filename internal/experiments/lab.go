@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -223,7 +224,7 @@ func (l *Lab) RunAugmentation() ([]SetRound, error) {
 			if l.augErr != nil {
 				return nil
 			}
-			res, err := augment.Run(seed, l.Items(pool), l.Oracle, rounds+1, augment.Config{
+			res, err := augment.Run(context.Background(), seed, l.Items(pool), l.Oracle, rounds+1, augment.Config{
 				MaxRounds:      maxRounds,
 				RatioThreshold: 0.01,
 			})

@@ -172,12 +172,19 @@ type Crawler struct {
 	BaseURL string
 	// Client defaults to a 10s-timeout client.
 	Client *http.Client
-	// Concurrency bounds parallel patch downloads (default 8).
+	// Concurrency bounds parallel patch downloads (default 8). The result
+	// order is the feed's reference order regardless of the setting.
 	Concurrency int
+	// Progress, when non-nil, observes the fetch stage: done downloads
+	// (including failures) out of the total job count. It is called from
+	// fetch goroutines and must be safe for concurrent use.
+	Progress func(done, total int)
 }
 
 // Crawl fetches the feed and downloads every Patch-tagged GitHub commit
-// reference, returning cleaned C/C++ patches.
+// reference, returning cleaned C/C++ patches in feed order. Downloads run
+// on a bounded worker pool; ctx cancellation aborts the crawl with a
+// wrapped context error.
 func (c *Crawler) Crawl(ctx context.Context) ([]*CrawledPatch, CrawlStats, error) {
 	client := c.Client
 	if client == nil {
@@ -219,41 +226,76 @@ func (c *Crawler) Crawl(ctx context.Context) ([]*CrawledPatch, CrawlStats, error
 			stats.WithPatchRefs++
 		}
 	}
-
-	var (
-		mu      sync.Mutex
-		out     []*CrawledPatch
-		wg      sync.WaitGroup
-		sem     = make(chan struct{}, conc)
-		statsMu sync.Mutex
-	)
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cp, fetchErr := c.fetchPatch(ctx, client, j.url)
-			statsMu.Lock()
-			defer statsMu.Unlock()
-			if fetchErr != nil {
-				stats.Errors++
-				return
-			}
-			stats.Downloaded++
-			cp.CVE = j.cve
-			cp.Repo = j.repo
-			cp.Hash = j.hash
-			if len(cp.Patch.Files) == 0 {
-				stats.EmptyAfterClean++
-				return
-			}
-			mu.Lock()
-			out = append(out, cp)
-			mu.Unlock()
-		}(j)
+	if c.Progress != nil {
+		c.Progress(0, len(jobs))
 	}
+
+	// Fixed-size worker pool over job indices. Results land at their job's
+	// index so the output order is deterministic (feed order) no matter how
+	// the downloads interleave.
+	results := make([]*CrawledPatch, len(jobs))
+	idxCh := make(chan int)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // guards stats and done
+		done int
+	)
+	if conc > len(jobs) {
+		conc = len(jobs)
+	}
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if ctx.Err() != nil {
+					continue // drain without fetching
+				}
+				j := jobs[i]
+				cp, fetchErr := c.fetchPatch(ctx, client, j.url)
+				mu.Lock()
+				done++
+				d := done
+				if fetchErr != nil {
+					stats.Errors++
+				} else {
+					stats.Downloaded++
+					cp.CVE = j.cve
+					cp.Repo = j.repo
+					cp.Hash = j.hash
+					if len(cp.Patch.Files) == 0 {
+						stats.EmptyAfterClean++
+					} else {
+						results[i] = cp
+					}
+				}
+				mu.Unlock()
+				if c.Progress != nil {
+					c.Progress(d, len(jobs))
+				}
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("nvd: crawl canceled: %w", err)
+	}
+
+	out := make([]*CrawledPatch, 0, len(results))
+	for _, cp := range results {
+		if cp != nil {
+			out = append(out, cp)
+		}
+	}
 	return out, stats, nil
 }
 

@@ -2,8 +2,11 @@ package nvd
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 
 	"patchdb/internal/gitrepo"
@@ -175,5 +178,102 @@ func TestCommitURLRegex(t *testing.T) {
 		if got := commitURLRe.MatchString(tc.url); got != tc.want {
 			t.Errorf("match(%q) = %v, want %v", tc.url, got, tc.want)
 		}
+	}
+}
+
+// multiCommitWorld seeds n distinct C-touching commits and one feed entry per
+// commit, returning the service, base URL, and the commit hashes in feed
+// order.
+func multiCommitWorld(t *testing.T, n int) (*Service, string, []string) {
+	t.Helper()
+	store := gitrepo.NewStore()
+	repo := gitrepo.NewRepo("acme/many")
+	if err := store.Add(repo); err != nil {
+		t.Fatal(err)
+	}
+	repo.SeedFile("src/m.c", "int v0;\n")
+	hashes := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		c := repo.Commit("alice", "2020-01-01", fmt.Sprintf("fix %d", i),
+			map[string]string{"src/m.c": fmt.Sprintf("int v%d;\n", i+1)})
+		hashes = append(hashes, c.Hash)
+	}
+	svc := NewService(store)
+	base, err := svc.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := svc.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	for i, h := range hashes {
+		svc.AddEntry(Entry{ID: fmt.Sprintf("CVE-2020-%04d", i), References: []Reference{
+			{URL: GitHubCommitURL(base, "acme/many", h), Tags: []string{"Patch"}},
+		}})
+	}
+	return svc, base, hashes
+}
+
+func TestCrawlPreservesFeedOrder(t *testing.T) {
+	// Concurrent downloads complete in arbitrary order; the crawl result
+	// must still follow the feed, at any concurrency.
+	_, base, hashes := multiCommitWorld(t, 40)
+	for _, conc := range []int{1, 4, 32} {
+		crawler := &Crawler{BaseURL: base, Concurrency: conc}
+		patches, stats, err := crawler.Crawl(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(patches) != len(hashes) {
+			t.Fatalf("conc=%d: patches = %d, want %d", conc, len(patches), len(hashes))
+		}
+		for i, p := range patches {
+			if p.Hash != hashes[i] {
+				t.Fatalf("conc=%d: patch %d = %s, want %s (feed order lost)", conc, i, p.Hash, hashes[i])
+			}
+		}
+		if stats.Downloaded != len(hashes) {
+			t.Errorf("conc=%d: downloaded = %d", conc, stats.Downloaded)
+		}
+	}
+}
+
+func TestCrawlProgress(t *testing.T) {
+	_, base, hashes := multiCommitWorld(t, 10)
+	var mu sync.Mutex
+	var maxDone, calls, total int
+	crawler := &Crawler{BaseURL: base, Concurrency: 4, Progress: func(done, tot int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		total = tot
+		if done > maxDone {
+			maxDone = done
+		}
+	}}
+	if _, _, err := crawler.Crawl(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if total != len(hashes) || maxDone != len(hashes) {
+		t.Errorf("progress saw %d/%d, want %d/%d", maxDone, total, len(hashes), len(hashes))
+	}
+	if calls != len(hashes)+1 { // initial 0/N plus one per download
+		t.Errorf("progress calls = %d, want %d", calls, len(hashes)+1)
+	}
+}
+
+func TestCrawlCancelMidway(t *testing.T) {
+	_, base, _ := multiCommitWorld(t, 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	crawler := &Crawler{BaseURL: base, Concurrency: 2, Progress: func(done, total int) {
+		if done >= 3 {
+			cancel()
+		}
+	}}
+	_, _, err := crawler.Crawl(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
 	}
 }

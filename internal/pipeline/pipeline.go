@@ -1,0 +1,184 @@
+// Package pipeline instruments the dataset-construction pipeline: it names
+// the stages of a Build, accumulates per-stage wall-clock timings and item
+// counters, and defines the progress-callback contract that lets CLIs render
+// a live view of a run. Everything here is safe for concurrent use; the
+// builder's worker pools report into one shared Metrics.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage identifies one phase of the construction pipeline.
+type Stage string
+
+// The stages of a Build, in execution order.
+const (
+	// StageCrawl covers the NVD feed fetch and patch downloads.
+	StageCrawl Stage = "crawl"
+	// StageExtract covers per-commit feature extraction over the wild pools
+	// and the crawled seed (the dominant cost at realistic pool sizes).
+	StageExtract Stage = "extract"
+	// StageSearch covers the nearest-link searches inside augmentation
+	// rounds.
+	StageSearch Stage = "search"
+	// StageAugment covers the augmentation rounds (search + verification).
+	StageAugment Stage = "augment"
+	// StageSynthesize covers source-level oversampling.
+	StageSynthesize Stage = "synthesize"
+)
+
+// stageOrder fixes the rendering order of known stages; unknown stages sort
+// after them, alphabetically.
+var stageOrder = map[Stage]int{
+	StageCrawl:      0,
+	StageExtract:    1,
+	StageSearch:     2,
+	StageAugment:    3,
+	StageSynthesize: 4,
+}
+
+// Progress observes pipeline advancement: done items out of total for a
+// stage. Callbacks are invoked synchronously from pipeline goroutines, so
+// they must be cheap and safe for concurrent use. A nil Progress is valid
+// everywhere one is accepted.
+type Progress func(stage Stage, done, total int)
+
+// Notifier wraps a possibly-nil Progress with a monotonically increasing
+// done counter for one stage, so concurrent workers can report completion
+// without coordinating indices.
+type Notifier struct {
+	stage    Stage
+	total    int
+	progress Progress
+
+	mu   sync.Mutex
+	done int
+}
+
+// NewNotifier creates a notifier for one stage of total items. p may be nil.
+func NewNotifier(stage Stage, total int, p Progress) *Notifier {
+	n := &Notifier{stage: stage, total: total, progress: p}
+	if p != nil {
+		p(stage, 0, total)
+	}
+	return n
+}
+
+// Done records n more completed items and forwards the new count.
+func (n *Notifier) Done(delta int) {
+	if n == nil || n.progress == nil {
+		return
+	}
+	n.mu.Lock()
+	n.done += delta
+	done := n.done
+	n.mu.Unlock()
+	n.progress(n.stage, done, n.total)
+}
+
+// StageStat is one stage's accumulated accounting.
+type StageStat struct {
+	Stage Stage
+	// Duration is total wall-clock time attributed to the stage. Stages
+	// timed from a single goroutine report elapsed time; per-item
+	// attribution from worker pools would sum CPU-parallel time instead,
+	// so the builder times stages around the pool, not inside it.
+	Duration time.Duration
+	// Items is the number of units processed (commits, patches, rounds...).
+	Items int
+}
+
+// Metrics accumulates per-stage timings and counters. The zero value is
+// ready to use; a nil *Metrics ignores all observations.
+type Metrics struct {
+	mu     sync.Mutex
+	stages map[Stage]*StageStat
+}
+
+// Observe adds elapsed time and an item count to a stage.
+func (m *Metrics) Observe(stage Stage, d time.Duration, items int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stages == nil {
+		m.stages = make(map[Stage]*StageStat)
+	}
+	st, ok := m.stages[stage]
+	if !ok {
+		st = &StageStat{Stage: stage}
+		m.stages[stage] = st
+	}
+	st.Duration += d
+	st.Items += items
+}
+
+// Timer starts timing a stage; the returned stop function records the
+// elapsed time along with the given item count. Typical use:
+//
+//	stop := metrics.Timer(pipeline.StageExtract)
+//	... do work ...
+//	stop(len(items))
+func (m *Metrics) Timer(stage Stage) func(items int) {
+	start := time.Now()
+	return func(items int) {
+		m.Observe(stage, time.Since(start), items)
+	}
+}
+
+// Snapshot returns the accumulated stats in pipeline order.
+func (m *Metrics) Snapshot() []StageStat {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	out := make([]StageStat, 0, len(m.stages))
+	for _, st := range m.stages {
+		out = append(out, *st)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		oi, iKnown := stageOrder[out[i].Stage]
+		oj, jKnown := stageOrder[out[j].Stage]
+		switch {
+		case iKnown && jKnown:
+			return oi < oj
+		case iKnown:
+			return true
+		case jKnown:
+			return false
+		default:
+			return out[i].Stage < out[j].Stage
+		}
+	})
+	return out
+}
+
+// String renders the snapshot as an aligned table, one stage per line.
+func (m *Metrics) String() string {
+	return FormatStats(m.Snapshot())
+}
+
+// FormatStats renders stage stats as an aligned table, one stage per line.
+func FormatStats(stats []StageStat) string {
+	if len(stats) == 0 {
+		return "(no stage metrics)"
+	}
+	var b strings.Builder
+	for _, st := range stats {
+		rate := ""
+		if st.Items > 0 && st.Duration > 0 {
+			perSec := float64(st.Items) / st.Duration.Seconds()
+			rate = fmt.Sprintf("  (%.0f items/s)", perSec)
+		}
+		fmt.Fprintf(&b, "%-12s %8d items  %10s%s\n",
+			st.Stage, st.Items, st.Duration.Round(time.Millisecond), rate)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,6 +1,7 @@
 package patchdb
 
 import (
+	"context"
 	"math/rand"
 
 	"patchdb/internal/core/augment"
@@ -49,9 +50,11 @@ type Verifier = augment.Verifier
 
 // Augment runs the dataset augmentation loop of Fig. 2 over one unlabeled
 // pool: nearest-link candidate selection, verification, and loop judgment.
-// startRound numbers the produced rounds.
-func Augment(seed [][]float64, pool []AugmentItem, v Verifier, startRound int, cfg AugmentConfig) (*AugmentResult, error) {
-	return augment.Run(seed, pool, v, startRound, cfg)
+// startRound numbers the produced rounds. ctx is checked between rounds and
+// between verifications; cancellation aborts the run with a wrapped context
+// error.
+func Augment(ctx context.Context, seed [][]float64, pool []AugmentItem, v Verifier, startRound int, cfg AugmentConfig) (*AugmentResult, error) {
+	return augment.Run(ctx, seed, pool, v, startRound, cfg)
 }
 
 // BruteForceSelect is the baseline that samples the pool uniformly

@@ -3,8 +3,12 @@ package patchdb
 import (
 	"bytes"
 	"context"
+	"errors"
 	"path/filepath"
+	"reflect"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -225,6 +229,176 @@ func TestBuildEndToEnd(t *testing.T) {
 	}
 	if sum != stats.NVD+stats.Wild {
 		t.Errorf("distribution total = %d, want %d", sum, stats.NVD+stats.Wild)
+	}
+}
+
+// TestBuildDeterministicAcrossWorkers proves the tentpole invariant: the
+// built dataset is a pure function of the seed, no matter how many workers
+// run the crawl, extraction, and search stages.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	cfg := BuilderConfig{
+		Seed:              7,
+		NVDSize:           40,
+		NonSecuritySize:   80,
+		WildPools:         []int{400, 300},
+		RoundsPerPool:     []int{2, 1},
+		SyntheticPerPatch: 2,
+	}
+	build := func(workers int) (*Dataset, *BuildReport) {
+		t.Helper()
+		c := cfg
+		c.Workers = workers
+		ds, report, err := Build(context.Background(), c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return ds, report
+	}
+	ds1, rep1 := build(1)
+	for _, workers := range []int{3, runtime.GOMAXPROCS(0)} {
+		dsN, repN := build(workers)
+		if !reflect.DeepEqual(ds1, dsN) {
+			t.Fatalf("workers=%d: dataset differs from workers=1", workers)
+		}
+		if len(rep1.Rounds) != len(repN.Rounds) {
+			t.Fatalf("workers=%d: %d rounds vs %d", workers, len(repN.Rounds), len(rep1.Rounds))
+		}
+		for i := range rep1.Rounds {
+			a, b := rep1.Rounds[i], repN.Rounds[i]
+			a.SearchTime, b.SearchTime = 0, 0 // wall-clock may differ
+			if a != b {
+				t.Fatalf("workers=%d: round %d accounting differs: %+v vs %+v", workers, i, b, a)
+			}
+		}
+		if rep1.HumanVerifications != repN.HumanVerifications {
+			t.Fatalf("workers=%d: verification counts differ", workers)
+		}
+	}
+}
+
+func TestBuildFeedNoiseSemantics(t *testing.T) {
+	base := BuilderConfig{Seed: 5, NVDSize: 30, NonSecuritySize: 60, WildPools: []int{200}, RoundsPerPool: []int{1}}
+
+	// Negative disables: every feed entry carries a patch reference.
+	cfg := base
+	cfg.FeedNoise = -1
+	_, report, err := Build(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Crawl.Entries != report.Crawl.WithPatchRefs {
+		t.Errorf("FeedNoise=-1: %d entries vs %d with refs, want equal",
+			report.Crawl.Entries, report.Crawl.WithPatchRefs)
+	}
+
+	// A small explicit value is honored, not coerced to the 0.1 default.
+	cfg = base
+	cfg.FeedNoise = 0.5
+	_, report, err = Build(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noise := report.Crawl.Entries - report.Crawl.WithPatchRefs; noise != 15 {
+		t.Errorf("FeedNoise=0.5: %d noise entries, want 15", noise)
+	}
+}
+
+func TestBuildRatioThresholdDisabled(t *testing.T) {
+	// With the early exit disabled, every scheduled round runs even if a
+	// round's ratio falls below any plausible threshold.
+	cfg := BuilderConfig{
+		Seed: 11, NVDSize: 30, NonSecuritySize: 60,
+		WildPools: []int{300}, RoundsPerPool: []int{3},
+		RatioThreshold: -1,
+	}
+	_, report, err := Build(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rounds) != 3 {
+		t.Errorf("rounds = %d, want all 3 with threshold disabled", len(report.Rounds))
+	}
+}
+
+func TestBuildProgressAndStages(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[Stage]int{} // max done per stage
+	totals := map[Stage]int{}
+	cfg := BuilderConfig{
+		Seed: 3, NVDSize: 25, NonSecuritySize: 50,
+		WildPools: []int{200}, RoundsPerPool: []int{1}, SyntheticPerPatch: 1,
+		Progress: func(s Stage, done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done > seen[s] {
+				seen[s] = done
+			}
+			totals[s] = total
+		},
+	}
+	_, report, err := Build(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []Stage{StageCrawl, StageExtract, StageAugment, StageSynthesize} {
+		if totals[stage] == 0 {
+			t.Errorf("stage %s: no progress reported", stage)
+		}
+		if seen[stage] != totals[stage] {
+			t.Errorf("stage %s: finished at %d/%d", stage, seen[stage], totals[stage])
+		}
+	}
+	// The extract total covers the crawled seed plus the wild pool.
+	if want := report.Crawl.Downloaded - report.Crawl.EmptyAfterClean + 200; totals[StageExtract] != want {
+		t.Errorf("extract total = %d, want %d", totals[StageExtract], want)
+	}
+	if len(report.Stages) == 0 {
+		t.Fatal("no stage metrics in report")
+	}
+	got := map[Stage]StageStat{}
+	for _, st := range report.Stages {
+		got[st.Stage] = st
+	}
+	if st := got[StageExtract]; st.Items != totals[StageExtract] || st.Duration <= 0 {
+		t.Errorf("extract stage stat = %+v", st)
+	}
+	if st := got[StageSearch]; st.Duration <= 0 {
+		t.Errorf("search stage stat = %+v (want per-round search timing)", st)
+	}
+}
+
+// TestBuildCancelMidway cancels during the extraction stage and verifies the
+// pipeline unwinds with a context error instead of finishing.
+func TestBuildCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := BuilderConfig{
+		Seed: 3, NVDSize: 20, NonSecuritySize: 40,
+		WildPools: []int{300}, RoundsPerPool: []int{1},
+		Progress: func(s Stage, done, total int) {
+			if s == StageExtract && done > 10 {
+				cancel()
+			}
+		},
+	}
+	_, _, err := Build(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestBuildRoundsPoolsMismatch(t *testing.T) {
+	_, _, err := Build(context.Background(), BuilderConfig{
+		NVDSize: 5, NonSecuritySize: 10,
+		WildPools: []int{50}, RoundsPerPool: []int{1, 2, 3},
+	})
+	if err == nil || !strings.Contains(err.Error(), "RoundsPerPool") {
+		t.Fatalf("err = %v, want RoundsPerPool length error", err)
+	}
+	// Empty RoundsPerPool still gets the default schedule.
+	if _, _, err := Build(context.Background(), BuilderConfig{
+		NVDSize: 5, NonSecuritySize: 10, WildPools: []int{50},
+	}); err != nil {
+		t.Fatalf("empty RoundsPerPool: %v", err)
 	}
 }
 
