@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify clean
+.PHONY: build test vet race bench verify verify-chaos clean
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,16 @@ race:
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkExtractStage|BenchmarkBuild' -benchtime 3x .
 
-# verify is the full pre-merge tier: static analysis plus the race-enabled
-# test suite (which subsumes the plain test run).
-verify: vet race
+# verify-chaos runs the fault-injection suite under the race detector: the
+# injected fault classes, the retry/breaker machinery, and the end-to-end
+# chaos tests of the crawler and builder.
+verify-chaos:
+	$(GO) test -race -count=1 ./internal/faults/ ./internal/retry/
+	$(GO) test -race -count=1 -run 'Chaos|Fault|PatchTooLarge|Serve' ./internal/nvd/ .
+
+# verify is the full pre-merge tier: static analysis, the fault-injection
+# suite, and the race-enabled test suite (which subsumes the plain test run).
+verify: vet verify-chaos race
 
 clean:
 	$(GO) clean ./...

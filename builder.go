@@ -6,11 +6,13 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"patchdb/internal/core/augment"
 	"patchdb/internal/core/oversample"
 	"patchdb/internal/corpus"
 	"patchdb/internal/diff"
+	"patchdb/internal/faults"
 	"patchdb/internal/features"
 	"patchdb/internal/nvd"
 	"patchdb/internal/oracle"
@@ -72,6 +74,21 @@ type BuilderConfig struct {
 	// feature extraction, and the nearest link search (default: GOMAXPROCS).
 	// The output is identical for any worker count.
 	Workers int
+	// FaultRate injects deterministic transient faults (429s with
+	// Retry-After, 500s, connection hangs, truncated and corrupted bodies)
+	// into the loopback NVD service at this per-request probability — the
+	// chaos-testing knob (0 = no faults; see internal/faults). Fault
+	// decisions derive from Seed, so a fault-injected build is reproducible
+	// at any worker count.
+	FaultRate float64
+	// MaxRetries is the per-download retry budget after the first attempt
+	// (0 = default 3; negative disables retries entirely).
+	MaxRetries int
+	// MaxCrawlFailureRatio is the quarantined-download ratio above which a
+	// degraded crawl fails the build instead of merely setting
+	// BuildReport.Degraded (0 = default 0.25; negative = never fail — the
+	// quarantine is reported and the build proceeds).
+	MaxCrawlFailureRatio float64
 	// Progress, when non-nil, observes pipeline advancement per stage. It
 	// is called synchronously from pipeline goroutines and must be cheap
 	// and safe for concurrent use.
@@ -108,13 +125,29 @@ func (c BuilderConfig) withDefaults() BuilderConfig {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 3
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0 // explicit disable: a single attempt per fetch
+	}
+	switch {
+	case c.MaxCrawlFailureRatio == 0:
+		c.MaxCrawlFailureRatio = 0.25
+	case c.MaxCrawlFailureRatio < 0:
+		c.MaxCrawlFailureRatio = 1 // ratios never exceed 1: never fail
+	}
 	return c
 }
 
 // BuildReport records what happened during a Build.
 type BuildReport struct {
-	// Crawl summarizes the NVD crawl.
+	// Crawl summarizes the NVD crawl, including retry/quarantine accounting.
 	Crawl nvd.CrawlStats
+	// Degraded reports a crawl that quarantined some downloads but stayed
+	// within MaxCrawlFailureRatio: the dataset is complete except for the
+	// patches listed in Crawl.Quarantine.
+	Degraded bool
 	// Rounds is the per-round augmentation accounting (Table II), including
 	// each round's nearest-link search time.
 	Rounds []AugmentRound
@@ -168,8 +201,18 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 	}
 	verifier := oracle.New(labels, oracle.WithSeed(cfg.Seed))
 
-	// Serve the NVD and crawl it, exercising the real HTTP code path.
+	// Serve the NVD and crawl it, exercising the real HTTP code path. With
+	// FaultRate set, the service is wrapped in the seed-deterministic fault
+	// injector so the crawl's resilience machinery is exercised end to end.
 	svc := nvd.NewService(gen.Store())
+	if cfg.FaultRate > 0 {
+		svc.Wrap = faults.New(faults.Config{
+			Seed:       cfg.Seed,
+			Routes:     []faults.Route{{Rate: cfg.FaultRate}},
+			RetryAfter: 20 * time.Millisecond,
+			HangFor:    25 * time.Millisecond,
+		}).Wrap
+	}
 	baseURL, err := svc.Start()
 	if err != nil {
 		return nil, nil, fmt.Errorf("build: %w", err)
@@ -201,6 +244,12 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 	crawler := &nvd.Crawler{
 		BaseURL:     baseURL,
 		Concurrency: cfg.Workers,
+		Seed:        cfg.Seed,
+		MaxAttempts: cfg.MaxRetries + 1,
+		// The upstream is loopback: short backoff keeps fault-injected
+		// builds fast while still exercising the schedule.
+		RetryBaseDelay: 10 * time.Millisecond,
+		RetryMaxDelay:  250 * time.Millisecond,
 	}
 	if cfg.Progress != nil {
 		crawler.Progress = func(done, total int) {
@@ -215,6 +264,17 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 	stopCrawl(crawlStats.Downloaded)
 
 	report := &BuildReport{Crawl: crawlStats}
+	// Graceful degradation: quarantined downloads within the threshold are
+	// a warning (Degraded); beyond it the build fails rather than silently
+	// shipping a hollowed-out dataset.
+	if total := crawlStats.Downloaded + crawlStats.Quarantined; total > 0 && crawlStats.Quarantined > 0 {
+		ratio := float64(crawlStats.Quarantined) / float64(total)
+		if ratio > cfg.MaxCrawlFailureRatio {
+			return nil, nil, fmt.Errorf("build: crawl degraded beyond threshold: %d/%d downloads quarantined (%.1f%% > %.1f%%)",
+				crawlStats.Quarantined, total, 100*ratio, 100*cfg.MaxCrawlFailureRatio)
+		}
+		report.Degraded = true
+	}
 	ds := &Dataset{}
 
 	// Total extraction workload: the crawled seed plus every pool commit.
@@ -376,23 +436,31 @@ func mapConcurrently[T any](ctx context.Context, n, workers int, notify *pipelin
 			defer wg.Done()
 			for i := range idxCh {
 				if ctx.Err() != nil {
-					continue // drain without computing
+					// Drained without computing; still reported so progress
+					// reaches the total on cancellation.
+					notify.Done(1)
+					continue
 				}
 				out[i] = fn(i)
 				notify.Done(1)
 			}
 		}()
 	}
+	submitted := 0
 feed:
 	for i := 0; i < n; i++ {
 		select {
 		case idxCh <- i:
+			submitted++
 		case <-ctx.Done():
 			break feed
 		}
 	}
 	close(idxCh)
 	wg.Wait()
+	if submitted < n {
+		notify.Done(n - submitted)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

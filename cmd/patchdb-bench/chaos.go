@@ -1,0 +1,108 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"patchdb/internal/corpus"
+	"patchdb/internal/faults"
+	"patchdb/internal/nvd"
+	"patchdb/internal/retry"
+)
+
+// chaosRates are the per-request fault probabilities the CHAOS experiment
+// sweeps, from a healthy upstream to one failing every other request.
+var chaosRates = []float64{0, 0.1, 0.3, 0.5}
+
+// chaosRow is one fault-rate measurement.
+type chaosRow struct {
+	rate      float64
+	jobs      int
+	recovered int
+	retries   int
+	trips     int
+	injected  faults.Stats
+	elapsed   time.Duration
+}
+
+type chaosResult struct {
+	rows []chaosRow
+}
+
+func (c chaosResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("CHAOS: crawl resilience under injected faults\n")
+	sb.WriteString("  rate   recovered        retries  trips  injected  wall-clock\n")
+	for _, r := range c.rows {
+		ratio := 100.0
+		if r.jobs > 0 {
+			ratio = 100 * float64(r.recovered) / float64(r.jobs)
+		}
+		fmt.Fprintf(&sb, "  %4.0f%%  %4d/%4d %5.1f%%  %7d  %5d  %8d  %s\n",
+			100*r.rate, r.recovered, r.jobs, ratio, r.retries, r.trips,
+			r.injected.Total(), r.elapsed.Round(time.Millisecond))
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// runChaos measures the crawl layer alone — recovered-patch ratio and
+// wall-clock — against the same corpus under increasing fault rates. Every
+// sweep rebuilds the world from the scale's seed, so rows differ only in
+// the injected fault rate.
+func runChaos(scale int, seed int64, workers int) (fmt.Stringer, error) {
+	res := chaosResult{}
+	for _, rate := range chaosRates {
+		gen := corpus.NewGenerator(corpus.Config{Seed: seed})
+		commits := gen.GenerateNVD(scale)
+		svc := nvd.NewService(gen.Store())
+		inj := faults.New(faults.Config{
+			Seed:       seed,
+			Routes:     []faults.Route{{Rate: rate}},
+			RetryAfter: 5 * time.Millisecond,
+			HangFor:    10 * time.Millisecond,
+		})
+		if rate > 0 {
+			svc.Wrap = inj.Wrap
+		}
+		base, err := svc.Start()
+		if err != nil {
+			return nil, err
+		}
+		for _, lc := range commits {
+			svc.AddEntry(nvd.Entry{ID: lc.CVE, References: []nvd.Reference{{
+				URL:  nvd.GitHubCommitURL(base, lc.Commit.Repo, lc.Commit.Hash),
+				Tags: []string{"Patch"},
+			}}})
+		}
+		crawler := &nvd.Crawler{
+			BaseURL:        base,
+			Concurrency:    workers,
+			Seed:           seed,
+			RetryBaseDelay: 2 * time.Millisecond,
+			RetryMaxDelay:  50 * time.Millisecond,
+			Breaker:        retry.NewBreaker(retry.BreakerConfig{Cooldown: 10 * time.Millisecond}),
+		}
+		start := time.Now()
+		_, stats, err := crawler.Crawl(context.Background())
+		elapsed := time.Since(start)
+		closeErr := svc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("rate %.0f%%: %w", 100*rate, err)
+		}
+		if closeErr != nil {
+			return nil, fmt.Errorf("rate %.0f%%: close: %w", 100*rate, closeErr)
+		}
+		res.rows = append(res.rows, chaosRow{
+			rate:      rate,
+			jobs:      len(commits),
+			recovered: stats.Downloaded,
+			retries:   stats.Retries,
+			trips:     stats.BreakerTrips,
+			injected:  inj.Stats(),
+			elapsed:   elapsed,
+		})
+	}
+	return res, nil
+}

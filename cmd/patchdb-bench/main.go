@@ -9,6 +9,7 @@
 //	patchdb-bench -scale paper    # the paper's dataset sizes (slow)
 //	patchdb-bench -only II,III    # a subset of experiments
 //	patchdb-bench -only BUILD     # end-to-end pipeline with stage timings
+//	patchdb-bench -only CHAOS     # crawl resilience under injected faults
 package main
 
 import (
@@ -34,9 +35,9 @@ func main() {
 func run() error {
 	var (
 		scaleName = flag.String("scale", "default", "experiment scale: small, default, or paper")
-		only      = flag.String("only", "", "comma-separated experiment ids (II,III,IV,V,VI,VII,F6,BUILD); empty = all")
+		only      = flag.String("only", "", "comma-separated experiment ids (II,III,IV,V,VI,VII,F6,BUILD,CHAOS); empty = all")
 		seed      = flag.Int64("seed", 1, "random seed")
-		workers   = flag.Int("workers", 0, "BUILD experiment worker-pool size (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "BUILD/CHAOS experiment worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -81,6 +82,7 @@ func run() error {
 		{"VI", func() (fmt.Stringer, error) { return lab.RunTableVI() }},
 		{"VII", func() (fmt.Stringer, error) { return lab.RunTableVII() }},
 		{"BUILD", func() (fmt.Stringer, error) { return runBuild(scale, *workers) }},
+		{"CHAOS", func() (fmt.Stringer, error) { return runChaos(scale.NVDSeed, scale.Seed, *workers) }},
 	}
 	for _, e := range all {
 		if !selected(e.id) {

@@ -7,6 +7,7 @@
 //	patchdb-build -out patchdb.json -nvd 400 -pools 8000,16000,16000 -synthetic 4
 //	patchdb-build -workers 16 -progress          # parallel run with a live stage view
 //	patchdb-build -feed-noise=-1 -ratio-threshold=-1  # disable noise and early exit
+//	patchdb-build -fault-rate 0.3 -max-retries 3 # chaos run: inject crawl faults
 package main
 
 import (
@@ -42,6 +43,9 @@ func run() error {
 		noise     = flag.Float64("feed-noise", 0, "CVE entries without patch links, as a fraction of -nvd (0 = default 0.1, negative disables)")
 		threshold = flag.Float64("ratio-threshold", 0, "augmentation early-exit ratio (0 = default 0.01, negative disables)")
 		progress  = flag.Bool("progress", false, "render live per-stage progress on stderr")
+		faultRate = flag.Float64("fault-rate", 0, "inject transient crawl faults at this per-request probability (0 = none)")
+		retries   = flag.Int("max-retries", 0, "per-download retry budget after the first attempt (0 = default 3, negative disables)")
+		failRatio = flag.Float64("max-failure-ratio", 0, "quarantined-download ratio that fails the build (0 = default 0.25, negative = never fail)")
 	)
 	flag.Parse()
 
@@ -55,15 +59,18 @@ func run() error {
 	}
 
 	cfg := patchdb.BuilderConfig{
-		Seed:              *seed,
-		NVDSize:           *nvdSize,
-		NonSecuritySize:   *nonSec,
-		WildPools:         poolSizes,
-		RoundsPerPool:     roundCounts,
-		SyntheticPerPatch: *synthetic,
-		FeedNoise:         *noise,
-		RatioThreshold:    *threshold,
-		Workers:           *workers,
+		Seed:                 *seed,
+		NVDSize:              *nvdSize,
+		NonSecuritySize:      *nonSec,
+		WildPools:            poolSizes,
+		RoundsPerPool:        roundCounts,
+		SyntheticPerPatch:    *synthetic,
+		FeedNoise:            *noise,
+		RatioThreshold:       *threshold,
+		Workers:              *workers,
+		FaultRate:            *faultRate,
+		MaxRetries:           *retries,
+		MaxCrawlFailureRatio: *failRatio,
 	}
 	if *progress {
 		cfg.Progress = progressRenderer(os.Stderr)
@@ -81,6 +88,16 @@ func run() error {
 
 	fmt.Printf("crawl: %d entries, %d with patch refs, %d downloaded, %d errors\n",
 		report.Crawl.Entries, report.Crawl.WithPatchRefs, report.Crawl.Downloaded, report.Crawl.Errors)
+	if report.Crawl.Retries > 0 || report.Crawl.Quarantined > 0 {
+		fmt.Printf("crawl resilience: %d retries, %d quarantined, %d breaker trips\n",
+			report.Crawl.Retries, report.Crawl.Quarantined, report.Crawl.BreakerTrips)
+	}
+	for _, q := range report.Crawl.Quarantine {
+		fmt.Printf("  quarantined: %s %s after %d attempts: %s\n", q.CVE, q.URL, q.Attempts, q.LastError)
+	}
+	if report.Degraded {
+		fmt.Println("warning: degraded build — dataset is complete except for quarantined patches")
+	}
 	for _, r := range report.Rounds {
 		fmt.Println(r)
 	}

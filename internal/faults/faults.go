@@ -1,0 +1,296 @@
+// Package faults implements a deterministic, seed-driven fault-injecting
+// http.Handler middleware. Wrapped around the simulated NVD service it
+// reproduces the failure modes of a flaky upstream — rate limiting (429 +
+// Retry-After), server errors (500), connection hangs, and truncated or
+// corrupted response bodies — at configurable per-route rates, so every
+// failure scenario of the crawl layer is replayable in tests and benches.
+//
+// Determinism: whether request number n for a given URL path faults, and
+// with which class, is a pure function of (Seed, path, n). Per-path request
+// counters make the decision independent of how concurrent requests
+// interleave, which is what lets a fault-injected crawl stay byte-identical
+// at any worker count.
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Class is one injected failure mode.
+type Class string
+
+const (
+	// RateLimit responds 429 Too Many Requests with a Retry-After header.
+	RateLimit Class = "rate-limit"
+	// ServerError responds 500 Internal Server Error.
+	ServerError Class = "server-error"
+	// Hang stalls the request for HangFor, then drops the connection
+	// without a response.
+	Hang Class = "hang"
+	// Truncate declares the full Content-Length but sends only half the
+	// body before dropping the connection.
+	Truncate Class = "truncate"
+	// Corrupt mangles the response body (garbage prefix + broken hunk
+	// headers) so feed decoding or patch parsing fails.
+	Corrupt Class = "corrupt"
+)
+
+// AllClasses lists every fault class, in a fixed order (the order indexes
+// the class-selection hash, so it is part of the determinism contract).
+var AllClasses = []Class{RateLimit, ServerError, Hang, Truncate, Corrupt}
+
+// Route subjects one URL path prefix to faults. The first matching route
+// wins; paths matching no route pass through untouched.
+type Route struct {
+	// Prefix of the URL path this rule governs ("" matches every path).
+	Prefix string
+	// Rate is the per-request fault probability in [0, 1].
+	Rate float64
+	// Classes are the fault classes to draw from (nil = AllClasses).
+	Classes []Class
+}
+
+// Config parameterizes an Injector.
+type Config struct {
+	// Seed drives every fault decision.
+	Seed int64
+	// Routes are the per-route fault rules.
+	Routes []Route
+	// RetryAfter is advertised on 429 responses (0 = default 25ms). It is
+	// rendered in (possibly fractional) seconds.
+	RetryAfter time.Duration
+	// HangFor is how long a Hang stalls before the connection is dropped
+	// (0 = default 50ms).
+	HangFor time.Duration
+	// MaxConsecutive caps consecutive faults per path: after that many in
+	// a row the next request passes through, guaranteeing recovery under
+	// a finite retry budget (0 = no cap).
+	MaxConsecutive int
+}
+
+// Stats is a snapshot of what the injector has done.
+type Stats struct {
+	// Requests is the total number of requests observed.
+	Requests int
+	// Faults counts injected faults by class.
+	Faults map[Class]int
+}
+
+// Total sums the injected faults across classes.
+func (s Stats) Total() int {
+	n := 0
+	for _, c := range s.Faults {
+		n += c
+	}
+	return n
+}
+
+// String renders the snapshot compactly, classes in AllClasses order.
+func (s Stats) String() string {
+	parts := make([]string, 0, len(AllClasses))
+	for _, c := range AllClasses {
+		if n := s.Faults[c]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", c, n))
+		}
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("%d requests, no faults", s.Requests)
+	}
+	return fmt.Sprintf("%d requests, %d faults (%s)", s.Requests, s.Total(), strings.Join(parts, " "))
+}
+
+// Injector injects faults into a wrapped handler per its Config.
+type Injector struct {
+	cfg Config
+
+	mu          sync.Mutex
+	seen        map[string]int // per-path request counter
+	consecutive map[string]int // per-path consecutive-fault counter
+	requests    int
+	faults      map[Class]int
+}
+
+// New creates an injector.
+func New(cfg Config) *Injector {
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 25 * time.Millisecond
+	}
+	if cfg.HangFor <= 0 {
+		cfg.HangFor = 50 * time.Millisecond
+	}
+	return &Injector{
+		cfg:         cfg,
+		seen:        make(map[string]int),
+		consecutive: make(map[string]int),
+		faults:      make(map[Class]int),
+	}
+}
+
+// Wrap returns a handler that serves next, injecting faults per the config.
+func (in *Injector) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		class, fault := in.decide(r.URL.Path)
+		if !fault {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch class {
+		case RateLimit:
+			w.Header().Set("Retry-After", fmt.Sprintf("%g", in.cfg.RetryAfter.Seconds()))
+			http.Error(w, "injected rate limit", http.StatusTooManyRequests)
+		case ServerError:
+			http.Error(w, "injected server error", http.StatusInternalServerError)
+		case Hang:
+			select {
+			case <-r.Context().Done():
+			case <-time.After(in.cfg.HangFor):
+			}
+			panic(http.ErrAbortHandler) // drop the connection, no response
+		case Truncate:
+			rec := capture(next, r)
+			body := rec.buf.Bytes()
+			copyHeaders(w.Header(), rec.header)
+			w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+			w.WriteHeader(rec.status)
+			w.Write(body[:len(body)/2])
+			// Push the partial body onto the wire before aborting; without
+			// the flush net/http discards its buffer and the client sees no
+			// response at all instead of a truncated one.
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler) // cut the stream mid-body
+		case Corrupt:
+			rec := capture(next, r)
+			body := corruptBody(rec.buf.Bytes())
+			copyHeaders(w.Header(), rec.header)
+			w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+			w.WriteHeader(rec.status)
+			w.Write(body)
+		}
+	})
+}
+
+// decide counts the request and draws the fault decision for it: pure in
+// (Seed, path, per-path request number).
+func (in *Injector) decide(path string) (Class, bool) {
+	route := in.route(path)
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.requests++
+	in.seen[path]++
+	n := in.seen[path]
+
+	if route == nil || route.Rate <= 0 {
+		in.consecutive[path] = 0
+		return "", false
+	}
+	if in.cfg.MaxConsecutive > 0 && in.consecutive[path] >= in.cfg.MaxConsecutive {
+		in.consecutive[path] = 0
+		return "", false
+	}
+	if unitFloat(hashDraw(in.cfg.Seed, path, n, 0)) >= route.Rate {
+		in.consecutive[path] = 0
+		return "", false
+	}
+	classes := route.Classes
+	if len(classes) == 0 {
+		classes = AllClasses
+	}
+	class := classes[hashDraw(in.cfg.Seed, path, n, 1)%uint64(len(classes))]
+	in.consecutive[path]++
+	in.faults[class]++
+	return class, true
+}
+
+func (in *Injector) route(path string) *Route {
+	for i := range in.cfg.Routes {
+		if strings.HasPrefix(path, in.cfg.Routes[i].Prefix) {
+			return &in.cfg.Routes[i]
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the injector's accounting.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := Stats{Requests: in.requests, Faults: make(map[Class]int, len(in.faults))}
+	for c, n := range in.faults {
+		out.Faults[c] = n
+	}
+	return out
+}
+
+// recorder buffers a handler's response so fault modes can rewrite it.
+type recorder struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func capture(next http.Handler, r *http.Request) *recorder {
+	rec := &recorder{header: make(http.Header), status: http.StatusOK}
+	next.ServeHTTP(rec, r)
+	return rec
+}
+
+func (rec *recorder) Header() http.Header         { return rec.header }
+func (rec *recorder) WriteHeader(code int)        { rec.status = code }
+func (rec *recorder) Write(p []byte) (int, error) { return rec.buf.Write(p) }
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		if k == "Content-Length" {
+			continue
+		}
+		dst[k] = append([]string(nil), vs...)
+	}
+}
+
+// corruptBody mangles a response so it fails downstream validation: hunk
+// headers lose their range sign (breaking patch parsing) and a binary
+// garbage prefix breaks JSON decoding.
+func corruptBody(body []byte) []byte {
+	mangled := bytes.ReplaceAll(body, []byte("@@ -"), []byte("@@ ?"))
+	out := make([]byte, 0, len(mangled)+16)
+	out = append(out, []byte("\x00\xffcorrupted\xff\x00\n")...)
+	return append(out, mangled...)
+}
+
+func hashDraw(seed int64, path string, n int, salt uint64) uint64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(seed) >> (8 * i))
+		buf[8+i] = byte(uint64(n) >> (8 * i))
+		buf[16+i] = byte(salt >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(path))
+	return mix64(h.Sum64())
+}
+
+// mix64 is a murmur3-style finalizer: FNV alone avalanches weakly into the
+// high bits unitFloat consumes.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}

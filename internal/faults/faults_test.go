@@ -1,0 +1,274 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+const patchBody = "diff --git a/src/a.c b/src/a.c\n" +
+	"--- a/src/a.c\n" +
+	"+++ b/src/a.c\n" +
+	"@@ -1,2 +1,2 @@\n" +
+	" int x;\n" +
+	"-int y;\n" +
+	"+long y;\n"
+
+// upstream is a healthy handler the injector wraps in every test.
+func upstream() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, patchBody)
+	})
+}
+
+func serve(t *testing.T, in *Injector) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(in.Wrap(upstream()))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (*http.Response, string, error) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(resp.Body)
+	return resp, string(body), readErr
+}
+
+func TestNoFaultsPassesThrough(t *testing.T) {
+	in := New(Config{Seed: 1}) // no routes at all
+	srv := serve(t, in)
+	resp, body, err := get(t, srv.URL+"/anything")
+	if err != nil || resp.StatusCode != http.StatusOK || body != patchBody {
+		t.Fatalf("passthrough broken: status=%v body=%q err=%v", resp, body, err)
+	}
+	if s := in.Stats(); s.Requests != 1 || s.Total() != 0 {
+		t.Errorf("stats = %+v, want 1 request 0 faults", s)
+	}
+}
+
+func TestZeroRatePassesThrough(t *testing.T) {
+	in := New(Config{Seed: 1, Routes: []Route{{Rate: 0}}})
+	srv := serve(t, in)
+	for i := 0; i < 20; i++ {
+		if _, body, err := get(t, srv.URL+"/p"); err != nil || body != patchBody {
+			t.Fatalf("request %d faulted at rate 0: %v", i, err)
+		}
+	}
+}
+
+func TestRateLimitFault(t *testing.T) {
+	in := New(Config{Seed: 1, Routes: []Route{{Rate: 1, Classes: []Class{RateLimit}}},
+		RetryAfter: 50 * time.Millisecond})
+	srv := serve(t, in)
+	resp, _, err := get(t, srv.URL+"/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %s, want 429", resp.Status)
+	}
+	secs, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64)
+	if err != nil || secs != 0.05 {
+		t.Errorf("Retry-After = %q, want 0.05 seconds", resp.Header.Get("Retry-After"))
+	}
+}
+
+func TestServerErrorFault(t *testing.T) {
+	in := New(Config{Seed: 1, Routes: []Route{{Rate: 1, Classes: []Class{ServerError}}}})
+	srv := serve(t, in)
+	resp, _, err := get(t, srv.URL+"/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %s, want 500", resp.Status)
+	}
+}
+
+func TestHangFaultDropsConnection(t *testing.T) {
+	in := New(Config{Seed: 1, Routes: []Route{{Rate: 1, Classes: []Class{Hang}}},
+		HangFor: 20 * time.Millisecond})
+	srv := serve(t, in)
+	start := time.Now()
+	_, _, err := get(t, srv.URL+"/p")
+	if err == nil {
+		t.Fatal("hang fault returned a response")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond || elapsed > 5*time.Second {
+		t.Errorf("hang lasted %s, want ~20ms", elapsed)
+	}
+}
+
+func TestTruncateFaultCutsBody(t *testing.T) {
+	in := New(Config{Seed: 1, Routes: []Route{{Rate: 1, Classes: []Class{Truncate}}}})
+	srv := serve(t, in)
+	resp, body, readErr := get(t, srv.URL+"/p")
+	if resp == nil {
+		t.Fatalf("no response at all: %v", readErr)
+	}
+	// The full length is declared but only half arrives: the client must
+	// observe a read error, not a silently short body.
+	if readErr == nil {
+		t.Fatalf("truncated body read cleanly: %d of %d bytes", len(body), len(patchBody))
+	}
+	if len(body) >= len(patchBody) {
+		t.Errorf("body not truncated: %d bytes", len(body))
+	}
+}
+
+func TestCorruptFaultMangledBody(t *testing.T) {
+	in := New(Config{Seed: 1, Routes: []Route{{Rate: 1, Classes: []Class{Corrupt}}}})
+	srv := serve(t, in)
+	resp, body, err := get(t, srv.URL+"/p")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("corrupt fault: status=%v err=%v", resp, err)
+	}
+	if body == patchBody {
+		t.Fatal("body not corrupted")
+	}
+	if !strings.Contains(body, "@@ ?") || strings.Contains(body, "@@ -") {
+		t.Errorf("hunk headers not mangled: %q", body)
+	}
+}
+
+func TestPerRouteRates(t *testing.T) {
+	in := New(Config{Seed: 1, Routes: []Route{
+		{Prefix: "/github/", Rate: 1, Classes: []Class{ServerError}},
+		{Prefix: "/feeds/", Rate: 0},
+	}})
+	srv := serve(t, in)
+	if resp, _, _ := get(t, srv.URL+"/github/x"); resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("/github/ status = %s, want 500", resp.Status)
+	}
+	if resp, _, _ := get(t, srv.URL+"/feeds/cve.json"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/feeds/ status = %s, want 200", resp.Status)
+	}
+	if resp, _, _ := get(t, srv.URL+"/other"); resp.StatusCode != http.StatusOK {
+		t.Errorf("unmatched route status = %s, want 200", resp.Status)
+	}
+}
+
+func TestMaxConsecutiveForcesRecovery(t *testing.T) {
+	in := New(Config{Seed: 1, MaxConsecutive: 2,
+		Routes: []Route{{Rate: 1, Classes: []Class{ServerError}}}})
+	srv := serve(t, in)
+	statuses := make([]int, 0, 6)
+	for i := 0; i < 6; i++ {
+		resp, _, err := get(t, srv.URL+"/p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		statuses = append(statuses, resp.StatusCode)
+	}
+	// Rate 1 with a 2-fault cap: every third request must pass through.
+	want := []int{500, 500, 200, 500, 500, 200}
+	for i := range want {
+		if statuses[i] != want[i] {
+			t.Fatalf("statuses = %v, want %v", statuses, want)
+		}
+	}
+}
+
+func TestDecisionsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Routes: []Route{{Rate: 0.4}}}
+	draw := func() []string {
+		in := New(cfg)
+		var seq []string
+		for _, path := range []string{"/a", "/b", "/a", "/c", "/a", "/b"} {
+			class, fault := in.decide(path)
+			seq = append(seq, fmt.Sprintf("%s:%v:%s", path, fault, class))
+		}
+		return seq
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// Different seeds must produce a different decision sequence somewhere.
+	other := New(Config{Seed: 8, Routes: []Route{{Rate: 0.4}}})
+	differs := false
+	for i, path := range []string{"/a", "/b", "/a", "/c", "/a", "/b"} {
+		class, fault := other.decide(path)
+		if fmt.Sprintf("%s:%v:%s", path, fault, class) != a[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("seeds 7 and 8 produced identical decision sequences")
+	}
+}
+
+func TestDecisionsIndependentOfInterleaving(t *testing.T) {
+	// The decision for (path, nth-request) must not depend on requests to
+	// other paths happening in between.
+	seq1 := func() []bool {
+		in := New(Config{Seed: 3, Routes: []Route{{Rate: 0.5}}})
+		var out []bool
+		for i := 0; i < 10; i++ {
+			_, f := in.decide("/target")
+			out = append(out, f)
+		}
+		return out
+	}()
+	seq2 := func() []bool {
+		in := New(Config{Seed: 3, Routes: []Route{{Rate: 0.5}}})
+		var out []bool
+		for i := 0; i < 10; i++ {
+			in.decide(fmt.Sprintf("/noise/%d", i))
+			_, f := in.decide("/target")
+			out = append(out, f)
+			in.decide("/more-noise")
+		}
+		return out
+	}()
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("decision %d for /target changed with interleaved traffic", i)
+		}
+	}
+}
+
+func TestApproximateRate(t *testing.T) {
+	in := New(Config{Seed: 99, Routes: []Route{{Rate: 0.3}}})
+	faults := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, f := in.decide(fmt.Sprintf("/p/%d", i)); f {
+			faults++
+		}
+	}
+	got := float64(faults) / n
+	if got < 0.25 || got > 0.35 {
+		t.Errorf("empirical fault rate %.3f, want ~0.30", got)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	in := New(Config{Seed: 1, Routes: []Route{{Rate: 1, Classes: []Class{ServerError}}}})
+	srv := serve(t, in)
+	for i := 0; i < 3; i++ {
+		get(t, srv.URL+"/p")
+	}
+	s := in.Stats()
+	if s.Requests != 3 || s.Faults[ServerError] != 3 || s.Total() != 3 {
+		t.Errorf("stats = %+v, want 3 requests / 3 server-error faults", s)
+	}
+	if str := s.String(); !strings.Contains(str, "server-error=3") {
+		t.Errorf("Stats.String() = %q", str)
+	}
+	if str := (Stats{Requests: 5}).String(); !strings.Contains(str, "no faults") {
+		t.Errorf("empty Stats.String() = %q", str)
+	}
+}

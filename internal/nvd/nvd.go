@@ -5,6 +5,12 @@
 // code path it would against nvd.nist.gov: fetch the CVE feed, select
 // references tagged "Patch" that point at GitHub commit URLs, download the
 // commit with a .patch suffix, parse it, and strip non-C/C++ files.
+//
+// The crawler is fault-tolerant: every fetch runs under a retry policy
+// (exponential backoff with seeded jitter, Retry-After honoring, a shared
+// circuit breaker — see internal/retry), and downloads that exhaust their
+// attempt budget are quarantined with their attempt count and last error
+// instead of silently vanishing.
 package nvd
 
 import (
@@ -15,13 +21,16 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"patchdb/internal/diff"
 	"patchdb/internal/gitrepo"
+	"patchdb/internal/retry"
 )
 
 // Reference is one external hyperlink of a CVE entry.
@@ -51,9 +60,14 @@ type Service struct {
 	entries []Entry
 	store   *gitrepo.Store
 
+	// Wrap, when non-nil before Start, wraps the service handler — the
+	// seam the fault injector (internal/faults) plugs into.
+	Wrap func(http.Handler) http.Handler
+
 	server   *http.Server
 	listener net.Listener
 	done     chan struct{}
+	serveErr error // first non-shutdown serve error, surfaced by Close
 }
 
 // NewService creates a service backed by the given repository store.
@@ -113,28 +127,37 @@ func (s *Service) Start() (baseURL string, err error) {
 		return "", fmt.Errorf("nvd: listen: %w", err)
 	}
 	s.listener = ln
-	s.server = &http.Server{Handler: s}
+	handler := http.Handler(s)
+	if s.Wrap != nil {
+		handler = s.Wrap(handler)
+	}
+	s.server = &http.Server{Handler: handler}
 	go func() {
 		defer close(s.done)
 		if serveErr := s.server.Serve(ln); serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
-			// Serve errors after Close are expected; others are surfaced via
-			// the crawler's request failures.
-			_ = serveErr
+			// Recorded here, surfaced by Close: the serve goroutine has no
+			// other channel back to the caller.
+			s.serveErr = fmt.Errorf("nvd: serve: %w", serveErr)
 		}
 	}()
 	return "http://" + ln.Addr().String(), nil
 }
 
-// Close shuts the server down and waits for the serve goroutine to exit.
+// Close shuts the server down, waits for the serve goroutine to exit, and
+// returns the first serve error if one occurred (otherwise the shutdown
+// error, if any).
 func (s *Service) Close() error {
 	if s.server == nil {
 		return nil
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	err := s.server.Shutdown(ctx)
+	shutdownErr := s.server.Shutdown(ctx)
 	<-s.done
-	return err
+	if s.serveErr != nil {
+		return s.serveErr
+	}
+	return shutdownErr
 }
 
 // GitHubCommitURL renders the canonical commit URL for a repo/hash pair,
@@ -157,13 +180,41 @@ type CrawledPatch struct {
 	FilesDropped int
 }
 
+// QuarantinedDownload is one patch download that exhausted its retry
+// budget. Quarantined downloads are reported, not silently dropped, so a
+// degraded crawl is visible and replayable.
+type QuarantinedDownload struct {
+	CVE  string
+	Repo string
+	Hash string
+	URL  string
+	// Attempts is how many fetches were made before giving up.
+	Attempts int
+	// LastError describes the final failure. Transport-level errors are
+	// canonicalized (the OS text for an aborted connection varies), so the
+	// quarantine report is byte-identical for a given seed and fault
+	// configuration at any worker count.
+	LastError string
+}
+
 // CrawlStats summarizes a crawl.
 type CrawlStats struct {
 	Entries         int // CVE entries in the feed
 	WithPatchRefs   int // entries that had at least one Patch-tagged link
-	Downloaded      int // patches fetched successfully
+	Downloaded      int // patches fetched successfully (possibly after retries)
 	EmptyAfterClean int // patches with no C/C++ files left
-	Errors          int // fetch or parse failures
+	Errors          int // downloads that ultimately failed (== Quarantined)
+	// Retries counts extra fetch attempts beyond each request's first.
+	Retries int
+	// Quarantined is len(Quarantine).
+	Quarantined int
+	// BreakerTrips counts closed→open transitions of the crawl's shared
+	// circuit breaker. Trips depend on request timing, so this is the one
+	// field outside the determinism contract.
+	BreakerTrips int
+	// Quarantine lists the downloads that exhausted their attempt budget,
+	// in feed order.
+	Quarantine []QuarantinedDownload
 }
 
 // Crawler downloads security patches referenced by the NVD feed.
@@ -177,27 +228,88 @@ type Crawler struct {
 	Concurrency int
 	// Progress, when non-nil, observes the fetch stage: done downloads
 	// (including failures) out of the total job count. It is called from
-	// fetch goroutines and must be safe for concurrent use.
+	// fetch goroutines and must be safe for concurrent use. On
+	// cancellation the count still reaches the total — drained and
+	// unsubmitted jobs are reported as done.
 	Progress func(done, total int)
+
+	// MaxAttempts is the per-fetch attempt budget, including the first try
+	// (0 = default 4; negative = a single attempt, no retries).
+	MaxAttempts int
+	// RetryBaseDelay is the backoff before the first retry (0 = 50ms).
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff schedule (0 = 2s).
+	RetryMaxDelay time.Duration
+	// Seed drives the deterministic retry jitter.
+	Seed int64
+	// MaxPatchBytes caps a .patch download body (0 = default 4 MiB;
+	// negative = unlimited). Oversized patches fail permanently.
+	MaxPatchBytes int64
+	// Breaker, when non-nil, replaces the crawl's own shared circuit
+	// breaker (tests tune the threshold and cooldown through this).
+	Breaker *retry.Breaker
+}
+
+const defaultMaxPatchBytes = 4 << 20
+
+func (c *Crawler) maxPatchBytes() int64 {
+	switch {
+	case c.MaxPatchBytes > 0:
+		return c.MaxPatchBytes
+	case c.MaxPatchBytes < 0:
+		return 0 // unlimited
+	default:
+		return defaultMaxPatchBytes
+	}
+}
+
+// policy builds the retry policy every fetch of one Crawl runs under,
+// sharing a single circuit breaker.
+func (c *Crawler) policy() (retry.Policy, *retry.Breaker) {
+	br := c.Breaker
+	if br == nil {
+		br = retry.NewBreaker(retry.BreakerConfig{})
+	}
+	return retry.Policy{
+		MaxAttempts: c.MaxAttempts,
+		BaseDelay:   c.RetryBaseDelay,
+		MaxDelay:    c.RetryMaxDelay,
+		Seed:        c.Seed,
+		Breaker:     br,
+	}, br
 }
 
 // Crawl fetches the feed and downloads every Patch-tagged GitHub commit
 // reference, returning cleaned C/C++ patches in feed order. Downloads run
-// on a bounded worker pool; ctx cancellation aborts the crawl with a
-// wrapped context error.
+// on a bounded worker pool; each fetch is retried with backoff, and
+// downloads that exhaust their budget land in CrawlStats.Quarantine.
+// ctx cancellation aborts the crawl with a wrapped context error.
 func (c *Crawler) Crawl(ctx context.Context) ([]*CrawledPatch, CrawlStats, error) {
 	client := c.Client
 	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+		// Keep-alives are off: net/http transparently re-sends an
+		// idempotent request whose reused connection died, which would
+		// consume fault-injection budget invisibly and make attempt
+		// accounting (and with it the determinism contract) depend on
+		// connection-pool timing.
+		client = &http.Client{
+			Timeout:   10 * time.Second,
+			Transport: &http.Transport{DisableKeepAlives: true},
+		}
 	}
 	conc := c.Concurrency
 	if conc <= 0 {
 		conc = 8
 	}
 	var stats CrawlStats
+	policy, breaker := c.policy()
 
-	feed, err := c.fetchFeed(ctx, client)
+	feed, attempts, err := c.fetchFeed(ctx, client, policy)
+	if attempts > 1 {
+		stats.Retries += attempts - 1
+	}
 	if err != nil {
+		stats.BreakerTrips = breaker.Trips()
 		return nil, stats, err
 	}
 	stats.Entries = len(feed.Entries)
@@ -230,10 +342,11 @@ func (c *Crawler) Crawl(ctx context.Context) ([]*CrawledPatch, CrawlStats, error
 		c.Progress(0, len(jobs))
 	}
 
-	// Fixed-size worker pool over job indices. Results land at their job's
-	// index so the output order is deterministic (feed order) no matter how
-	// the downloads interleave.
+	// Fixed-size worker pool over job indices. Results (and quarantine
+	// entries) land at their job's index so the output order is
+	// deterministic (feed order) no matter how the downloads interleave.
 	results := make([]*CrawledPatch, len(jobs))
+	quarantined := make([]*QuarantinedDownload, len(jobs))
 	idxCh := make(chan int)
 	var (
 		wg   sync.WaitGroup
@@ -249,15 +362,42 @@ func (c *Crawler) Crawl(ctx context.Context) ([]*CrawledPatch, CrawlStats, error
 			defer wg.Done()
 			for i := range idxCh {
 				if ctx.Err() != nil {
-					continue // drain without fetching
+					// Drained without fetching; still counts toward
+					// progress so -progress reaches 100% on cancellation.
+					mu.Lock()
+					done++
+					d := done
+					mu.Unlock()
+					if c.Progress != nil {
+						c.Progress(d, len(jobs))
+					}
+					continue
 				}
 				j := jobs[i]
-				cp, fetchErr := c.fetchPatch(ctx, client, j.url)
+				var cp *CrawledPatch
+				attempts, fetchErr := policy.Do(ctx, j.url, func(ctx context.Context) error {
+					p, err := c.fetchPatch(ctx, client, j.url)
+					if err != nil {
+						return err
+					}
+					cp = p
+					return nil
+				})
 				mu.Lock()
 				done++
 				d := done
+				if attempts > 1 {
+					stats.Retries += attempts - 1
+				}
 				if fetchErr != nil {
-					stats.Errors++
+					if ctx.Err() == nil {
+						// A genuine failure, not cancellation noise.
+						stats.Errors++
+						quarantined[i] = &QuarantinedDownload{
+							CVE: j.cve, Repo: j.repo, Hash: j.hash, URL: j.url,
+							Attempts: attempts, LastError: canonicalError(fetchErr),
+						}
+					}
 				} else {
 					stats.Downloaded++
 					cp.CVE = j.cve
@@ -276,16 +416,35 @@ func (c *Crawler) Crawl(ctx context.Context) ([]*CrawledPatch, CrawlStats, error
 			}
 		}()
 	}
+	submitted := 0
 feed:
 	for i := range jobs {
 		select {
 		case idxCh <- i:
+			submitted++
 		case <-ctx.Done():
 			break feed
 		}
 	}
 	close(idxCh)
 	wg.Wait()
+	if submitted < len(jobs) {
+		// Jobs never handed to a worker still complete the progress count.
+		mu.Lock()
+		done += len(jobs) - submitted
+		d := done
+		mu.Unlock()
+		if c.Progress != nil {
+			c.Progress(d, len(jobs))
+		}
+	}
+	for _, q := range quarantined {
+		if q != nil {
+			stats.Quarantine = append(stats.Quarantine, *q)
+		}
+	}
+	stats.Quarantined = len(stats.Quarantine)
+	stats.BreakerTrips = breaker.Trips()
 	if err := ctx.Err(); err != nil {
 		return nil, stats, fmt.Errorf("nvd: crawl canceled: %w", err)
 	}
@@ -299,40 +458,66 @@ feed:
 	return out, stats, nil
 }
 
-func (c *Crawler) fetchFeed(ctx context.Context, client *http.Client) (*Feed, error) {
+func (c *Crawler) fetchFeed(ctx context.Context, client *http.Client, policy retry.Policy) (*Feed, int, error) {
+	var feed *Feed
+	attempts, err := policy.Do(ctx, "/feeds/cve.json", func(ctx context.Context) error {
+		f, err := c.fetchFeedOnce(ctx, client)
+		if err != nil {
+			return err
+		}
+		feed = f
+		return nil
+	})
+	return feed, attempts, err
+}
+
+func (c *Crawler) fetchFeedOnce(ctx context.Context, client *http.Client) (*Feed, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/feeds/cve.json", nil)
 	if err != nil {
-		return nil, fmt.Errorf("nvd: build feed request: %w", err)
+		return nil, retry.Permanent(fmt.Errorf("nvd: build feed request: %w", err))
 	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("nvd: fetch feed: %w", err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("nvd: feed status %s", resp.Status)
+	if err := statusError(resp, "feed"); err != nil {
+		return nil, err
 	}
 	var feed Feed
 	if err := json.NewDecoder(resp.Body).Decode(&feed); err != nil {
+		// Truncated or corrupted payload; the next attempt may decode.
 		return nil, fmt.Errorf("nvd: decode feed: %w", err)
 	}
 	return &feed, nil
 }
 
+// fetchPatch performs one download attempt. Transient failures (connection
+// errors, 429/5xx, truncated or unparsable bodies) return plain errors the
+// retry policy will re-attempt; conclusive ones (other HTTP statuses,
+// oversized patches) are marked permanent.
 func (c *Crawler) fetchPatch(ctx context.Context, client *http.Client, url string) (*CrawledPatch, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, fmt.Errorf("nvd: build patch request: %w", err)
+		return nil, retry.Permanent(fmt.Errorf("nvd: build patch request: %w", err))
 	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("nvd: fetch patch: %w", err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("nvd: patch status %s", resp.Status)
+	if err := statusError(resp, "patch"); err != nil {
+		return nil, err
 	}
-	body, err := io.ReadAll(resp.Body)
+	var body []byte
+	if limit := c.maxPatchBytes(); limit > 0 {
+		body, err = io.ReadAll(io.LimitReader(resp.Body, limit+1))
+		if err == nil && int64(len(body)) > limit {
+			return nil, retry.Permanent(fmt.Errorf("nvd: patch too large: %s exceeds the %d-byte limit", url, limit))
+		}
+	} else {
+		body, err = io.ReadAll(resp.Body)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("nvd: read patch: %w", err)
 	}
@@ -343,6 +528,59 @@ func (c *Crawler) fetchPatch(ctx context.Context, client *http.Client, url strin
 	before := len(p.Files)
 	cleaned := p.StripNonCFamily()
 	return &CrawledPatch{Patch: cleaned, FilesDropped: before - len(cleaned.Files)}, nil
+}
+
+// statusError classifies a non-200 response: 429 carries the server's
+// Retry-After hint, 5xx is transient, anything else is permanent.
+func statusError(resp *http.Response, what string) error {
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		err := fmt.Errorf("nvd: %s status %s", what, resp.Status)
+		if after, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			return retry.WithRetryAfter(err, after)
+		}
+		return err
+	case resp.StatusCode >= 500:
+		return fmt.Errorf("nvd: %s status %s", what, resp.Status)
+	default:
+		return retry.Permanent(fmt.Errorf("nvd: %s status %s", what, resp.Status))
+	}
+}
+
+// parseRetryAfter accepts delay seconds (integral or fractional) or an
+// HTTP date.
+func parseRetryAfter(h string) (time.Duration, bool) {
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseFloat(h, 64); err == nil && secs >= 0 {
+		return time.Duration(secs * float64(time.Second)), true
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// canonicalError renders an error for the quarantine report. Transport
+// failures (url.Error) are reduced to a stable description: whether an
+// aborted connection surfaces as EOF or ECONNRESET depends on timing, and
+// the quarantine report must be identical for identical seeds.
+func canonicalError(err error) string {
+	var uerr *url.Error
+	if errors.As(err, &uerr) {
+		reason := "connection failure"
+		if uerr.Timeout() {
+			reason = "timeout"
+		}
+		return fmt.Sprintf("nvd: fetch %s: %s", strings.ToLower(uerr.Op), reason)
+	}
+	return err.Error()
 }
 
 func hasTag(tags []string, want string) bool {

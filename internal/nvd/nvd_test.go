@@ -277,3 +277,57 @@ func TestCrawlCancelMidway(t *testing.T) {
 		t.Fatalf("err = %v, want wrapped context.Canceled", err)
 	}
 }
+
+func TestCloseSurfacesServeError(t *testing.T) {
+	store := gitrepo.NewStore()
+	svc := NewService(store)
+	if _, err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the listener out from under the server: Serve returns a real
+	// error (not ErrServerClosed), which Close must surface instead of
+	// swallowing.
+	if err := svc.listener.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the serve goroutine to observe the dead listener; calling
+	// Close immediately can win the race and turn the accept failure into
+	// a clean ErrServerClosed.
+	<-svc.done
+	err := svc.Close()
+	if err == nil {
+		t.Fatal("Close returned nil after the serve loop died")
+	}
+	if !strings.Contains(err.Error(), "nvd: serve:") {
+		t.Errorf("Close error = %v, want a wrapped serve error", err)
+	}
+}
+
+func TestCrawlCancelProgressReachesTotal(t *testing.T) {
+	_, base, _ := multiCommitWorld(t, 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	var maxDone, total int
+	crawler := &Crawler{BaseURL: base, Concurrency: 2, Progress: func(done, tot int) {
+		mu.Lock()
+		defer mu.Unlock()
+		total = tot
+		if done > maxDone {
+			maxDone = done
+		}
+		if done == 3 {
+			cancel()
+		}
+	}}
+	_, _, err := crawler.Crawl(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Drained and never-submitted jobs still count: a canceled crawl's
+	// progress bar must land on 100%, not stall at the cancellation point.
+	mu.Lock()
+	defer mu.Unlock()
+	if maxDone != total || total != 30 {
+		t.Errorf("progress peaked at %d/%d, want 30/30", maxDone, total)
+	}
+}

@@ -1,0 +1,161 @@
+package retry
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's admission mode.
+type BreakerState int
+
+const (
+	// Closed admits every attempt (the healthy state).
+	Closed BreakerState = iota
+	// Open rejects every attempt until the cooldown elapses.
+	Open
+	// HalfOpen admits a single probe; its outcome closes or re-opens the
+	// circuit.
+	HalfOpen
+)
+
+// String renders the state name.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterizes a Breaker. The zero value is usable: trip
+// after 5 consecutive failures, 100ms cooldown, wall clock.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// circuit (0 = default 5).
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before a half-open probe
+	// is admitted (0 = default 100ms).
+	Cooldown time.Duration
+	// Clock replaces time.Now (tests).
+	Clock func() time.Time
+}
+
+// Breaker is a shared circuit breaker: after FailureThreshold consecutive
+// failures it opens and rejects attempts for Cooldown, then admits one
+// half-open probe whose outcome closes or re-opens the circuit. Rejection
+// is advisory — callers are expected to wait and re-enter Allow, so the
+// breaker paces a struggling upstream without changing request outcomes.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	openedUntil time.Time
+	probing     bool
+	trips       int
+}
+
+// NewBreaker creates a breaker in the Closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 100 * time.Millisecond
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow asks to admit one attempt. When admitted, the returned release is
+// non-nil and MUST be called exactly once with the attempt's outcome. When
+// rejected, release is nil and wait suggests how long to sleep before
+// asking again.
+func (b *Breaker) Allow() (release func(failed bool), wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Clock()
+	switch b.state {
+	case Closed:
+		return b.releaseFunc(false), 0
+	case Open:
+		if now.Before(b.openedUntil) {
+			return nil, b.openedUntil.Sub(now)
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return b.releaseFunc(true), 0
+	default: // HalfOpen
+		if !b.probing {
+			b.probing = true
+			return b.releaseFunc(true), 0
+		}
+		return nil, b.probeWait()
+	}
+}
+
+// probeWait is the re-poll interval for callers parked behind an in-flight
+// half-open probe.
+func (b *Breaker) probeWait() time.Duration {
+	w := b.cfg.Cooldown / 4
+	if w < time.Millisecond {
+		w = time.Millisecond
+	}
+	return w
+}
+
+func (b *Breaker) releaseFunc(probe bool) func(failed bool) {
+	return func(failed bool) {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if probe {
+			b.probing = false
+		}
+		if failed {
+			b.consecutive++
+			// Failures reported while already Open (in-flight attempts
+			// admitted before the trip) must not re-trip and extend the
+			// cooldown.
+			if b.state == HalfOpen || (b.state == Closed && b.consecutive >= b.cfg.FailureThreshold) {
+				b.trip()
+			}
+			return
+		}
+		b.consecutive = 0
+		if b.state != Closed {
+			b.state = Closed
+		}
+	}
+}
+
+// trip opens the circuit. Callers must hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedUntil = b.cfg.Clock().Add(b.cfg.Cooldown)
+	b.probing = false
+	b.trips++
+}
+
+// State returns the current admission mode (refreshing an expired Open to
+// report HalfOpen would race the probe slot, so Open is reported until a
+// caller actually transitions it).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips counts closed→open transitions so far.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

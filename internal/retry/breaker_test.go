@@ -1,0 +1,166 @@
+package retry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	return NewBreaker(BreakerConfig{
+		FailureThreshold: threshold,
+		Cooldown:         cooldown,
+		Clock:            clock.Now,
+	}), clock
+}
+
+// mustAllow asserts admission and returns the release callback.
+func mustAllow(t *testing.T, b *Breaker) func(bool) {
+	t.Helper()
+	release, wait := b.Allow()
+	if release == nil {
+		t.Fatalf("rejected (wait %s), want admitted", wait)
+	}
+	return release
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		mustAllow(t, b)(true)
+		if b.State() != Closed {
+			t.Fatalf("tripped after %d failures, threshold 3", i+1)
+		}
+	}
+	mustAllow(t, b)(true)
+	if b.State() != Open || b.Trips() != 1 {
+		t.Fatalf("state=%s trips=%d, want open/1", b.State(), b.Trips())
+	}
+	if release, wait := b.Allow(); release != nil || wait <= 0 {
+		t.Fatalf("open breaker admitted an attempt (wait %s)", wait)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	mustAllow(t, b)(true)
+	mustAllow(t, b)(true)
+	mustAllow(t, b)(false) // streak broken
+	mustAllow(t, b)(true)
+	mustAllow(t, b)(true)
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Second)
+	mustAllow(t, b)(true) // trip
+	clock.Advance(2 * time.Second)
+
+	probe := mustAllow(t, b) // half-open probe slot
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	// A second caller is parked behind the in-flight probe.
+	if release, wait := b.Allow(); release != nil || wait <= 0 {
+		t.Fatal("half-open breaker admitted a second concurrent attempt")
+	}
+	probe(false)
+	if b.State() != Closed {
+		t.Fatalf("state = %s after successful probe, want closed", b.State())
+	}
+	mustAllow(t, b)(false)
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Second)
+	mustAllow(t, b)(true) // trip #1
+	clock.Advance(2 * time.Second)
+	mustAllow(t, b)(true) // failed probe → trip #2
+	if b.State() != Open || b.Trips() != 2 {
+		t.Fatalf("state=%s trips=%d, want open/2", b.State(), b.Trips())
+	}
+	if release, _ := b.Allow(); release != nil {
+		t.Fatal("re-opened breaker admitted an attempt before cooldown")
+	}
+	clock.Advance(2 * time.Second)
+	mustAllow(t, b)(false)
+	if b.State() != Closed {
+		t.Fatalf("state = %s, want closed", b.State())
+	}
+}
+
+func TestBreakerLateFailuresDoNotExtendCooldown(t *testing.T) {
+	b, clock := newTestBreaker(2, time.Second)
+	r1 := mustAllow(t, b)
+	r2 := mustAllow(t, b)
+	r3 := mustAllow(t, b) // three in-flight attempts admitted while closed
+	r1(true)
+	r2(true) // trips here
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+	clock.Advance(900 * time.Millisecond)
+	r3(true) // straggler failure while already open
+	if b.Trips() != 1 {
+		t.Fatalf("straggler re-tripped: trips = %d", b.Trips())
+	}
+	clock.Advance(200 * time.Millisecond) // past the ORIGINAL cooldown
+	if release, wait := b.Allow(); release == nil {
+		t.Fatalf("cooldown extended by straggler (wait %s)", wait)
+	} else {
+		release(false)
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b, _ := newTestBreaker(5, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				release, wait := b.Allow()
+				if release == nil {
+					if wait <= 0 {
+						t.Error("rejected with non-positive wait")
+					}
+					continue
+				}
+				release(i%3 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.State()
+	b.Trips()
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for state, want := range map[BreakerState]string{Closed: "closed", Open: "open", HalfOpen: "half-open"} {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", state, got, want)
+		}
+	}
+}

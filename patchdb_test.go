@@ -416,3 +416,128 @@ func TestComputePatchFacade(t *testing.T) {
 		t.Fatalf("files = %d", len(p.Files))
 	}
 }
+
+// chaosCfg is the base config for fault-injected build tests: small world,
+// moderate fault rate, the default retry budget.
+func chaosCfg() BuilderConfig {
+	return BuilderConfig{
+		Seed:            11,
+		NVDSize:         60,
+		NonSecuritySize: 60,
+		WildPools:       []int{200},
+		RoundsPerPool:   []int{1},
+		FaultRate:       0.3,
+	}
+}
+
+func TestBuildWithFaultsRecovers(t *testing.T) {
+	// The acceptance bar: at a 30% transient-failure rate with the default
+	// budget the crawl recovers >= 95% of patches; the rest is quarantined
+	// with attempt counts and last errors, and the report says Degraded.
+	ds, report, err := Build(context.Background(), chaosCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawl := report.Crawl
+	if crawl.Retries == 0 {
+		t.Error("no retries recorded at a 30% fault rate")
+	}
+	total := crawl.Downloaded + crawl.Quarantined
+	if total != crawl.WithPatchRefs {
+		t.Errorf("downloaded %d + quarantined %d != %d patch refs: downloads lost without a trace",
+			crawl.Downloaded, crawl.Quarantined, crawl.WithPatchRefs)
+	}
+	if ratio := float64(crawl.Downloaded) / float64(total); ratio < 0.95 {
+		t.Errorf("recovered %.1f%% of patches, want >= 95%%", 100*ratio)
+	}
+	if report.Degraded != (crawl.Quarantined > 0) {
+		t.Errorf("Degraded = %v with %d quarantined", report.Degraded, crawl.Quarantined)
+	}
+	for i, q := range crawl.Quarantine {
+		if q.Attempts != 4 || q.LastError == "" || q.CVE == "" || q.URL == "" {
+			t.Errorf("quarantine[%d] incomplete: %+v", i, q)
+		}
+	}
+	if len(ds.NVD) != crawl.Downloaded-crawl.EmptyAfterClean {
+		t.Errorf("NVD records = %d, want %d", len(ds.NVD), crawl.Downloaded-crawl.EmptyAfterClean)
+	}
+}
+
+func TestBuildFailureRatioThreshold(t *testing.T) {
+	// Drive the quarantine ratio up with a tight budget, then check both
+	// sides of the threshold: a low ceiling fails the build, a negative one
+	// (never fail) ships the degraded dataset with the quarantine attached.
+	cfg := chaosCfg()
+	cfg.FaultRate = 0.5
+	cfg.MaxRetries = 1 // two attempts: ~25% of downloads quarantine
+
+	strict := cfg
+	strict.MaxCrawlFailureRatio = 0.001
+	_, _, err := Build(context.Background(), strict)
+	if err == nil || !strings.Contains(err.Error(), "degraded beyond threshold") {
+		t.Fatalf("err = %v, want degraded-beyond-threshold", err)
+	}
+
+	lenient := cfg
+	lenient.MaxCrawlFailureRatio = -1
+	_, report, err := Build(context.Background(), lenient)
+	if err != nil {
+		t.Fatalf("MaxCrawlFailureRatio=-1 must never fail the build: %v", err)
+	}
+	if !report.Degraded || report.Crawl.Quarantined == 0 {
+		t.Errorf("Degraded=%v quarantined=%d, want a visibly degraded build",
+			report.Degraded, report.Crawl.Quarantined)
+	}
+	for i, q := range report.Crawl.Quarantine {
+		if q.Attempts != 2 {
+			t.Errorf("quarantine[%d].Attempts = %d, want 2", i, q.Attempts)
+		}
+	}
+}
+
+// stripQuarantineBase removes the per-run loopback origin from quarantine
+// URLs so reports from two builds (different ephemeral ports) compare equal.
+func stripQuarantineBase(report *BuildReport) {
+	for i, q := range report.Crawl.Quarantine {
+		if j := strings.Index(q.URL, "/github/"); j >= 0 {
+			report.Crawl.Quarantine[i].URL = q.URL[j:]
+		}
+	}
+}
+
+func TestBuildDeterministicUnderFaults(t *testing.T) {
+	// The determinism contract extends to chaos: same Seed + fault config
+	// means a byte-identical dataset and quarantine report at any worker
+	// count. BreakerTrips is timing-dependent and excluded.
+	cfg := chaosCfg()
+	cfg.FaultRate = 0.5
+	cfg.MaxRetries = 1
+	cfg.MaxCrawlFailureRatio = -1
+
+	build := func(workers int) (*Dataset, *BuildReport) {
+		t.Helper()
+		c := cfg
+		c.Workers = workers
+		ds, report, err := Build(context.Background(), c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		stripQuarantineBase(report)
+		return ds, report
+	}
+	ds1, rep1 := build(1)
+	dsN, repN := build(runtime.GOMAXPROCS(0))
+	if !reflect.DeepEqual(ds1, dsN) {
+		t.Fatal("dataset differs across worker counts under faults")
+	}
+	if rep1.Crawl.Quarantined == 0 {
+		t.Error("test too weak: nothing quarantined")
+	}
+	c1, cN := rep1.Crawl, repN.Crawl
+	if c1.Downloaded != cN.Downloaded || c1.Retries != cN.Retries || c1.Quarantined != cN.Quarantined {
+		t.Fatalf("crawl stats differ: %+v vs %+v", c1, cN)
+	}
+	if !reflect.DeepEqual(c1.Quarantine, cN.Quarantine) {
+		t.Fatalf("quarantine reports differ:\n%+v\nvs\n%+v", c1.Quarantine, cN.Quarantine)
+	}
+}
