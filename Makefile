@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify verify-chaos clean
+.PHONY: build test vet race bench bench-nearestlink verify verify-chaos clean
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ race:
 
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkExtractStage|BenchmarkBuild' -benchtime 3x .
+
+# bench-nearestlink sweeps the nearest-link engine up to 2k seeds x 200k
+# wild commits and writes BENCH_nearestlink.json (ns/op, distance evals,
+# pruned fraction, rescans, reference speedup) — the perf trajectory for the
+# hottest kernel in the repo.
+bench-nearestlink:
+	$(GO) run ./cmd/patchdb-bench -only NEARESTLINK
 
 # verify-chaos runs the fault-injection suite under the race detector: the
 # injected fault classes, the retry/breaker machinery, and the end-to-end

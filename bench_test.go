@@ -17,6 +17,7 @@ package patchdb
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"strings"
@@ -159,11 +160,11 @@ func BenchmarkAblationNormalization(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		normed, err := nearestlink.Search(seedX, wildX, nil)
+		normed, err := nearestlink.Search(context.Background(), seedX, wildX, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		raw, err := nearestlink.Search(seedX, wildX, &nearestlink.Options{DisableNormalization: true})
+		raw, err := nearestlink.Search(context.Background(), seedX, wildX, &nearestlink.Options{DisableNormalization: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,11 +188,11 @@ func BenchmarkAblationKNNVsNearestLink(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		links, err := nearestlink.Search(seedX, wildX, nil)
+		links, err := nearestlink.Search(context.Background(), seedX, wildX, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		knn, err := nearestlink.KNNSelect(seedX, wildX, nil)
+		knn, err := nearestlink.KNNSelect(context.Background(), seedX, wildX, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -218,7 +219,7 @@ func BenchmarkAblationSearchRange(b *testing.B) {
 			for j, it := range pool {
 				wildX[j] = it.Features
 			}
-			links, err := nearestlink.Search(seedX, wildX, nil)
+			links, err := nearestlink.Search(context.Background(), seedX, wildX, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -380,7 +381,90 @@ func BenchmarkNearestLinkSearch(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := nearestlink.Search(seedX, wildX, nil); err != nil {
+		if _, err := nearestlink.Search(context.Background(), seedX, wildX, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchNearestLinkRows generates feature-like rows for the large search
+// benchmarks, matching the shape of the real 60-dim extractor output: sparse
+// non-negative counts, per-dimension scale variation, and a long-tailed
+// per-row commit-size factor (big commits have uniformly large counts) — the
+// spread the engine's norm bound prunes against in practice.
+func benchNearestLinkRows(rng *rand.Rand, n, d int) [][]float64 {
+	scale := make([]float64, d)
+	for j := range scale {
+		scale[j] = 1 + 9*rng.Float64()
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		size := math.Exp(1.2 * rng.NormFloat64())
+		row := make([]float64, d)
+		for j := range row {
+			if rng.Float64() < 0.5 {
+				continue
+			}
+			row[j] = float64(int(rng.ExpFloat64() * scale[j] * size))
+		}
+		out[i] = row
+	}
+	return out
+}
+
+var benchLargeNL struct {
+	once       sync.Once
+	seed, wild [][]float64
+}
+
+func benchLargeNearestLinkInputs() ([][]float64, [][]float64) {
+	benchLargeNL.once.Do(func() {
+		rng := rand.New(rand.NewSource(17))
+		benchLargeNL.seed = benchNearestLinkRows(rng, 1000, 60)
+		benchLargeNL.wild = benchNearestLinkRows(rng, 100_000, 60)
+	})
+	return benchLargeNL.seed, benchLargeNL.wild
+}
+
+// BenchmarkNearestLinkSearchLarge measures the engine on a 1k x 100k x 60
+// instance — the scale the acceptance criterion targets. Compare against
+// BenchmarkNearestLinkReferenceLarge (same inputs, same worker count) for
+// the engine-vs-reference speedup.
+func BenchmarkNearestLinkSearchLarge(b *testing.B) {
+	seedX, wildX := benchLargeNearestLinkInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nearestlink.Search(context.Background(), seedX, wildX, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNearestLinkReference runs the retained pre-engine implementation
+// on the 120x1200 instance of BenchmarkNearestLinkSearch.
+func BenchmarkNearestLinkReference(b *testing.B) {
+	lab := sharedBenchLab(b)
+	seedX := lab.FeatureRows(lab.NVD)
+	pool := lab.Items(lab.SetI)
+	wildX := make([][]float64, len(pool))
+	for i, it := range pool {
+		wildX[i] = it.Features
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nearestlink.ReferenceSearch(seedX, wildX, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNearestLinkReferenceLarge is the pre-engine implementation on the
+// 1k x 100k instance — the denominator of the large-search speedup.
+func BenchmarkNearestLinkReferenceLarge(b *testing.B) {
+	seedX, wildX := benchLargeNearestLinkInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nearestlink.ReferenceSearch(seedX, wildX, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -149,8 +149,12 @@ type BuildReport struct {
 	// patches listed in Crawl.Quarantine.
 	Degraded bool
 	// Rounds is the per-round augmentation accounting (Table II), including
-	// each round's nearest-link search time.
+	// each round's nearest-link search time and engine stats.
 	Rounds []AugmentRound
+	// Search aggregates the nearest-link engine accounting across all
+	// augmentation rounds: distance evaluations, pruned fraction, heap
+	// activity, and total search wall-clock.
+	Search NearestLinkTotals
 	// HumanVerifications counts simulated manual inspections.
 	HumanVerifications int
 	// Stages is the per-stage wall-clock and item accounting of the run,
@@ -349,6 +353,7 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 		stopAugment(len(res.Rounds))
 		for _, r := range res.Rounds {
 			metrics.Observe(StageSearch, r.SearchTime, r.SearchRange)
+			report.Search.Add(r.Search)
 		}
 		augmentNotify.Done(len(res.Rounds))
 		report.Rounds = append(report.Rounds, res.Rounds...)

@@ -10,6 +10,7 @@
 //	patchdb-bench -only II,III    # a subset of experiments
 //	patchdb-bench -only BUILD     # end-to-end pipeline with stage timings
 //	patchdb-bench -only CHAOS     # crawl resilience under injected faults
+//	patchdb-bench -only NEARESTLINK  # search engine sweep -> BENCH_nearestlink.json
 package main
 
 import (
@@ -35,9 +36,9 @@ func main() {
 func run() error {
 	var (
 		scaleName = flag.String("scale", "default", "experiment scale: small, default, or paper")
-		only      = flag.String("only", "", "comma-separated experiment ids (II,III,IV,V,VI,VII,F6,BUILD,CHAOS); empty = all")
+		only      = flag.String("only", "", "comma-separated experiment ids (II,III,IV,V,VI,VII,F6,BUILD,CHAOS,NEARESTLINK); empty = all")
 		seed      = flag.Int64("seed", 1, "random seed")
-		workers   = flag.Int("workers", 0, "BUILD/CHAOS experiment worker-pool size (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "BUILD/CHAOS/NEARESTLINK experiment worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -83,6 +84,7 @@ func run() error {
 		{"VII", func() (fmt.Stringer, error) { return lab.RunTableVII() }},
 		{"BUILD", func() (fmt.Stringer, error) { return runBuild(scale, *workers) }},
 		{"CHAOS", func() (fmt.Stringer, error) { return runChaos(scale.NVDSeed, scale.Seed, *workers) }},
+		{"NEARESTLINK", func() (fmt.Stringer, error) { return runNearestLink(scale, *workers) }},
 	}
 	for _, e := range all {
 		if !selected(e.id) {
@@ -112,6 +114,9 @@ func (b buildResult) String() string {
 	sb.WriteString("BUILD: end-to-end construction pipeline\n")
 	for _, r := range b.report.Rounds {
 		fmt.Fprintf(&sb, "  %s (search %s)\n", r, r.SearchTime.Round(time.Millisecond))
+	}
+	if b.report.Search.Searches > 0 {
+		fmt.Fprintf(&sb, "  nearest-link engine: %s\n", b.report.Search)
 	}
 	fmt.Fprintf(&sb, "  dataset: nvd=%d wild=%d non-security=%d synthetic=%d (verifications: %d)\n",
 		b.stats.NVD, b.stats.Wild, b.stats.NonSecurity, b.stats.Synthetic,

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"patchdb/internal/experiments"
+
+	"patchdb/internal/core/nearestlink"
+)
+
+// nearestLinkJSON is the perf-trajectory artifact the NEARESTLINK
+// experiment emits, one row per (M, N) sweep point.
+const nearestLinkJSON = "BENCH_nearestlink.json"
+
+// referenceVerifyCap bounds the M*N size at which the sweep cross-checks
+// the engine against the O(M·N·d) reference implementation (and reports a
+// measured speedup); above it the reference run would dominate the sweep's
+// wall-clock.
+const referenceVerifyCap = 25_000_000
+
+// nlRow is one sweep measurement.
+type nlRow struct {
+	M              int     `json:"m"`
+	N              int     `json:"n"`
+	Dims           int     `json:"dims"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	DistanceEvals  int64   `json:"distance_evals"`
+	NormPruned     int64   `json:"norm_pruned"`
+	EarlyExited    int64   `json:"early_exited"`
+	PrunedFraction float64 `json:"pruned_fraction"`
+	Rescans        int     `json:"rescans"`
+	SecondBestHits int     `json:"second_best_hits"`
+	HeapPops       int     `json:"heap_pops"`
+	// ReferenceNsPerOp and Speedup are populated only when the point was
+	// small enough to run (and verify against) the reference.
+	ReferenceNsPerOp int64   `json:"reference_ns_per_op,omitempty"`
+	Speedup          float64 `json:"speedup_vs_reference,omitempty"`
+	Verified         bool    `json:"verified_identical"`
+}
+
+type nlResult struct {
+	Experiment string  `json:"experiment"`
+	Scale      string  `json:"scale"`
+	Workers    int     `json:"workers"`
+	Rows       []nlRow `json:"rows"`
+	path       string
+}
+
+func (r nlResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("NEARESTLINK: flat-layout pruned search engine sweep\n")
+	sb.WriteString("      M        N      time      evals  pruned  rescans  2nd-best   speedup\n")
+	for _, row := range r.Rows {
+		speed := "      -"
+		if row.Speedup > 0 {
+			speed = fmt.Sprintf("%6.1fx", row.Speedup)
+		}
+		verified := ""
+		if row.Verified {
+			verified = " =ref"
+		}
+		fmt.Fprintf(&sb, "  %5d  %7d  %8s  %9d  %5.1f%%  %7d  %8d  %s%s\n",
+			row.M, row.N, time.Duration(row.NsPerOp).Round(time.Millisecond),
+			row.DistanceEvals, 100*row.PrunedFraction, row.Rescans,
+			row.SecondBestHits, speed, verified)
+	}
+	fmt.Fprintf(&sb, "  wrote %s", r.path)
+	return sb.String()
+}
+
+// nlShapes picks the sweep sizes for a scale: the default/paper scales run
+// the full trajectory up to 2k seeds × 200k wild commits.
+func nlShapes(scale experiments.Scale) [][2]int {
+	if strings.HasPrefix(scale.Name, "small") {
+		return [][2]int{{100, 10_000}, {250, 25_000}}
+	}
+	return [][2]int{{500, 50_000}, {1000, 100_000}, {2000, 200_000}}
+}
+
+// synthFeatureRows generates feature-like vectors mimicking the 60-dim
+// syntactic features the real pipeline extracts: sparse non-negative counts,
+// per-dimension scale variation, and a long-tailed per-row commit-size
+// factor (big commits have uniformly large counts) — the spread the
+// engine's norm bound prunes against in practice.
+func synthFeatureRows(rng *rand.Rand, n, d int) [][]float64 {
+	scale := make([]float64, d)
+	for j := range scale {
+		scale[j] = 1 + 9*rng.Float64()
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		size := math.Exp(1.2 * rng.NormFloat64())
+		row := make([]float64, d)
+		for j := range row {
+			if rng.Float64() < 0.5 { // sparse: most features zero
+				continue
+			}
+			row[j] = math.Floor(rng.ExpFloat64() * scale[j] * size)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// runNearestLink sweeps the engine over growing (M, N) instances, verifies
+// bit-identical links against the reference where affordable, and writes
+// the measurements to BENCH_nearestlink.json.
+func runNearestLink(scale experiments.Scale, workers int) (fmt.Stringer, error) {
+	const dims = 60
+	res := nlResult{Experiment: "nearestlink", Scale: scale.Name, Workers: workers, path: nearestLinkJSON}
+	opts := func(st *nearestlink.Stats) *nearestlink.Options {
+		return &nearestlink.Options{Workers: workers, Stats: st}
+	}
+	for _, sh := range nlShapes(scale) {
+		m, n := sh[0], sh[1]
+		rng := rand.New(rand.NewSource(scale.Seed + int64(m)*31 + int64(n)))
+		sec := synthFeatureRows(rng, m, dims)
+		wild := synthFeatureRows(rng, n, dims)
+
+		var st nearestlink.Stats
+		start := time.Now()
+		links, err := nearestlink.Search(context.Background(), sec, wild, opts(&st))
+		if err != nil {
+			return nil, fmt.Errorf("%dx%d: %w", m, n, err)
+		}
+		row := nlRow{
+			M: m, N: n, Dims: dims,
+			NsPerOp:        time.Since(start).Nanoseconds(),
+			DistanceEvals:  st.DistanceEvals,
+			NormPruned:     st.NormPruned,
+			EarlyExited:    st.EarlyExited,
+			PrunedFraction: st.PrunedFraction,
+			Rescans:        st.Rescans,
+			SecondBestHits: st.SecondBestHits,
+			HeapPops:       st.HeapPops,
+		}
+		if m*n <= referenceVerifyCap {
+			start = time.Now()
+			want, err := nearestlink.ReferenceSearch(sec, wild, &nearestlink.Options{Workers: workers})
+			if err != nil {
+				return nil, fmt.Errorf("%dx%d reference: %w", m, n, err)
+			}
+			row.ReferenceNsPerOp = time.Since(start).Nanoseconds()
+			if row.NsPerOp > 0 {
+				row.Speedup = float64(row.ReferenceNsPerOp) / float64(row.NsPerOp)
+			}
+			if len(links) != len(want) {
+				return nil, fmt.Errorf("%dx%d: engine %d links, reference %d", m, n, len(links), len(want))
+			}
+			for k := range want {
+				if links[k] != want[k] {
+					return nil, fmt.Errorf("%dx%d: link %d diverges: engine %+v, reference %+v",
+						m, n, k, links[k], want[k])
+				}
+			}
+			row.Verified = true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(nearestLinkJSON, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("write %s: %w", nearestLinkJSON, err)
+	}
+	return res, nil
+}

@@ -101,6 +101,9 @@ func run() error {
 	for _, r := range report.Rounds {
 		fmt.Println(r)
 	}
+	if report.Search.Searches > 0 {
+		fmt.Println("nearest-link engine:", report.Search)
+	}
 	stats := ds.Stats()
 	fmt.Printf("dataset: nvd=%d wild=%d non-security=%d synthetic=%d (verifications: %d)\n",
 		stats.NVD, stats.Wild, stats.NonSecurity, stats.Synthetic, report.HumanVerifications)

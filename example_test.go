@@ -1,6 +1,7 @@
 package patchdb_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -40,7 +41,7 @@ func ExampleAbstractTokens() {
 func ExampleNearestLink() {
 	security := [][]float64{{0, 0}, {10, 10}}
 	wild := [][]float64{{9, 10}, {90, 90}, {1, 0}}
-	links, err := patchdb.NearestLink(security, wild, nil)
+	links, err := patchdb.NearestLink(context.Background(), security, wild, nil)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -61,6 +61,9 @@ type Round struct {
 	Ratio       float64
 	// SearchTime is the wall-clock cost of the round's nearest link search.
 	SearchTime time.Duration
+	// Search is the round's full nearest-link engine accounting (distance
+	// evaluations, pruned fraction, heap activity).
+	Search nearestlink.Stats
 }
 
 // String renders the round like a Table II row.
@@ -112,7 +115,7 @@ func Run(ctx context.Context, seed [][]float64, pool []Item, verifier Verifier, 
 			wildX[i] = it.Features
 		}
 		var searchStats nearestlink.Stats
-		links, err := nearestlink.Search(res.SeedFeatures, wildX,
+		links, err := nearestlink.Search(ctx, res.SeedFeatures, wildX,
 			&nearestlink.Options{Workers: cfg.Workers, Stats: &searchStats})
 		if err != nil {
 			return nil, fmt.Errorf("augment round %d: %w", startRound+round, err)
@@ -123,6 +126,7 @@ func Run(ctx context.Context, seed [][]float64, pool []Item, verifier Verifier, 
 			SearchRange: len(active),
 			Candidates:  len(links),
 			SearchTime:  searchStats.Duration,
+			Search:      searchStats,
 		}
 		selected := make(map[int]bool, len(links))
 		for _, l := range links {

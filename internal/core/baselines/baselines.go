@@ -9,11 +9,27 @@ import (
 	"math/rand"
 
 	"patchdb/internal/core/augment"
+	"patchdb/internal/core/nearestlink"
 	"patchdb/internal/ml"
 	"patchdb/internal/ml/bayes"
 	"patchdb/internal/ml/linear"
 	"patchdb/internal/ml/tree"
 )
+
+// poolMatrix assembles the pool's feature vectors into one flat, row-major
+// matrix (validating dimensionality), so classifier scoring walks contiguous
+// memory instead of chasing per-item feature pointers.
+func poolMatrix(pool []augment.Item) (*nearestlink.Matrix, error) {
+	rows := make([][]float64, len(pool))
+	for i, it := range pool {
+		rows[i] = it.Features
+	}
+	m, err := nearestlink.MatrixFromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("pool features: %w", err)
+	}
+	return m, nil
+}
 
 // BruteForce samples sampleSize items uniformly from the pool and verifies
 // each — the "screen everything" strategy. It returns the indices of the
@@ -34,11 +50,11 @@ func PseudoLabeling(train *ml.Dataset, pool []augment.Item, k int, seed int64) (
 	if err := rf.Fit(train.X, train.Y); err != nil {
 		return nil, fmt.Errorf("pseudo labeling: %w", err)
 	}
-	rows := make([][]float64, len(pool))
-	for i, it := range pool {
-		rows[i] = it.Features
+	m, err := poolMatrix(pool)
+	if err != nil {
+		return nil, fmt.Errorf("pseudo labeling: %w", err)
 	}
-	return ml.ArgmaxProba(rf, rows, k), nil
+	return ml.ArgmaxProba(rf, m.RowSlices(), k), nil
 }
 
 // TenClassifiers builds the ten-model ensemble of the paper's
@@ -70,11 +86,16 @@ func Uncertainty(train *ml.Dataset, pool []augment.Item, seed int64) ([]int, err
 			return nil, fmt.Errorf("uncertainty model %d: %w", i, err)
 		}
 	}
+	feats, err := poolMatrix(pool)
+	if err != nil {
+		return nil, fmt.Errorf("uncertainty: %w", err)
+	}
 	var out []int
-	for i, it := range pool {
+	for i := 0; i < feats.Rows(); i++ {
+		row := feats.Row(i)
 		all := true
 		for _, m := range models {
-			if m.Predict(it.Features) != ml.Security {
+			if m.Predict(row) != ml.Security {
 				all = false
 				break
 			}

@@ -4,20 +4,30 @@
 // the greedy nearest link search of Algorithm 1 that pairs every verified
 // security patch with a distinct, closest wild candidate.
 //
-// The implementation never materializes the full M x N distance matrix:
-// row minima are computed on demand and re-scanned only on column
-// collisions, so memory stays O(M+N) while matching Algorithm 1's output
-// exactly.
+// The implementation is a high-throughput search engine built for the
+// paper's production shape (thousands of seeds × millions of wild commits):
+// flat row-major matrices instead of pointer-chased rows, norm-decomposed
+// pruned distance evaluation that rejects most candidates after O(1) work or
+// a few dimensions, and a heap-driven greedy assignment that resolves column
+// collisions from a cached runner-up instead of an O(N) rescan. Despite the
+// pruning, the produced links are bit-identical to the straightforward
+// transcription of Algorithm 1 retained in ReferenceSearch — see DESIGN.md
+// §5.2 for the exactness argument. Memory stays O(M+N); the full M×N
+// distance matrix is never materialized.
 package nearestlink
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+var inf = math.Inf(1)
 
 // Link pairs the m-th verified security patch with its selected wild patch.
 type Link struct {
@@ -37,19 +47,107 @@ type Options struct {
 	// paper always normalizes).
 	DisableNormalization bool
 	// Stats, when non-nil, is filled with search accounting (timing,
-	// rescans) on return.
+	// pruning, heap activity) on return.
 	Stats *Stats
 }
 
-// Stats is the accounting of one Search call.
+func (o *Options) resolved() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	return out
+}
+
+// Stats is the accounting of one Search or KNNSelect call.
 type Stats struct {
 	// SecurityRows and WildCols are the problem dimensions.
 	SecurityRows, WildCols int
-	// Rescans counts column-collision row rescans (Algorithm 1 lines
-	// 10-15); near-zero means the greedy pass ran close to O(MN).
+	// DistanceEvals counts candidate pairs whose per-dimension evaluation
+	// was started — pairs that survived every O(1) norm bound — plus the
+	// small fixed sample each row evaluates to seed its pruning bound.
+	DistanceEvals int64
+	// NormPruned counts candidates rejected by an O(1) norm-decomposed
+	// bound — the bulk norm-window break (counted per column skipped) or the
+	// per-candidate segment-norm bound — before any row data was touched.
+	NormPruned int64
+	// EarlyExited counts evaluations aborted by a partial-distance bound —
+	// the packed-prefix screen or the tail screen — before reaching the
+	// last dimension.
+	EarlyExited int64
+	// PrunedFraction is (NormPruned+EarlyExited) / candidates considered:
+	// the fraction of candidate pairs that never paid for a full
+	// d-dimensional evaluation.
+	PrunedFraction float64
+	// HeapPops counts greedy-phase heap extractions.
+	HeapPops int
+	// SecondBestHits counts column collisions resolved from the cached
+	// runner-up column without rescanning the row.
+	SecondBestHits int
+	// Rescans counts full row rescans on column collisions (Algorithm 1
+	// lines 10-15) that the runner-up cache could not absorb.
 	Rescans int
 	// Duration is the wall-clock time of the search.
 	Duration time.Duration
+}
+
+// addScan folds per-worker scan counters into the stats.
+func (s *Stats) addScan(c scanCounters) {
+	s.DistanceEvals += c.evals
+	s.NormPruned += c.normPruned
+	s.EarlyExited += c.earlyExited
+}
+
+func (s *Stats) finish(start time.Time) {
+	if considered := s.NormPruned + s.DistanceEvals; considered > 0 {
+		s.PrunedFraction = float64(s.NormPruned+s.EarlyExited) / float64(considered)
+	}
+	s.Duration = time.Since(start)
+}
+
+// Totals aggregates Stats across many searches (e.g. all augmentation
+// rounds of a build).
+type Totals struct {
+	Searches       int
+	DistanceEvals  int64
+	NormPruned     int64
+	EarlyExited    int64
+	HeapPops       int
+	SecondBestHits int
+	Rescans        int
+	Duration       time.Duration
+}
+
+// Add folds one search's stats into the totals.
+func (t *Totals) Add(s Stats) {
+	t.Searches++
+	t.DistanceEvals += s.DistanceEvals
+	t.NormPruned += s.NormPruned
+	t.EarlyExited += s.EarlyExited
+	t.HeapPops += s.HeapPops
+	t.SecondBestHits += s.SecondBestHits
+	t.Rescans += s.Rescans
+	t.Duration += s.Duration
+}
+
+// PrunedFraction is the aggregate fraction of candidate pairs rejected
+// before a full-dimensional evaluation.
+func (t Totals) PrunedFraction() float64 {
+	considered := t.NormPruned + t.DistanceEvals
+	if considered == 0 {
+		return 0
+	}
+	return float64(t.NormPruned+t.EarlyExited) / float64(considered)
+}
+
+// String renders the totals as a one-line engine summary.
+func (t Totals) String() string {
+	return fmt.Sprintf("searches=%d evals=%d pruned=%.1f%% rescans=%d second-best hits=%d search time=%s",
+		t.Searches, t.DistanceEvals, 100*t.PrunedFraction(), t.Rescans, t.SecondBestHits,
+		t.Duration.Round(time.Millisecond))
 }
 
 // ErrNoWildPatches is returned when the unlabeled pool is empty.
@@ -63,8 +161,8 @@ var ErrNoSecurityPatches = errors.New("nearestlink: empty security set")
 var ErrDimensionMismatch = errors.New("nearestlink: feature dimension mismatch")
 
 // validateDims checks that every row of every set has the dimensionality of
-// the first row seen. Without this check, Weights and dist2 index past the
-// end of short rows and panic.
+// the first row seen. Without this check, the distance kernels index past
+// the end of short rows and panic.
 func validateDims(sets ...[][]float64) error {
 	dim := -1
 	names := []string{"security", "wild"}
@@ -88,8 +186,12 @@ func validateDims(sets ...[][]float64) error {
 }
 
 // Weights computes the per-dimension max-abs weights w_j = 1/max|a_j| over
-// all provided rows (paper Sec. III-B-2).
-func Weights(sets ...[][]float64) []float64 {
+// all provided rows (paper Sec. III-B-2). Ragged rows return a wrapped
+// ErrDimensionMismatch instead of indexing past the end of short rows.
+func Weights(sets ...[][]float64) ([]float64, error) {
+	if err := validateDims(sets...); err != nil {
+		return nil, err
+	}
 	var dim int
 	for _, s := range sets {
 		if len(s) > 0 {
@@ -114,36 +216,21 @@ func Weights(sets ...[][]float64) []float64 {
 			w[j] = 1 / w[j]
 		}
 	}
-	return w
+	return w, nil
 }
 
-// weighted returns rows scaled by w.
-func weighted(rows [][]float64, w []float64) [][]float64 {
-	out := make([][]float64, len(rows))
-	for i, row := range rows {
-		r := make([]float64, len(row))
-		for j, v := range row {
-			r[j] = v * w[j]
-		}
-		out[i] = r
-	}
-	return out
-}
-
-// dist2 is the squared Euclidean distance.
-func dist2(a, b []float64) float64 {
-	sum := 0.0
-	for j := range a {
-		d := a[j] - b[j]
-		sum += d * d
-	}
-	return sum
+// canceled wraps a context error in the package's vocabulary.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("nearestlink: search canceled: %w", ctx.Err())
 }
 
 // Search runs Algorithm 1: for each of the M verified security patches it
 // selects one distinct wild patch so that the total link distance is
-// (greedily) minimized. It returns exactly min(M, N) links.
-func Search(security, wild [][]float64, opts *Options) ([]Link, error) {
+// (greedily) minimized. It returns exactly min(M, N) links, identical to
+// ReferenceSearch's for any input and worker count. ctx is checked between
+// row chunks of the scan phase and periodically during assignment;
+// cancellation aborts the search with a wrapped context error.
+func Search(ctx context.Context, security, wild [][]float64, opts *Options) ([]Link, error) {
 	if len(security) == 0 {
 		return nil, ErrNoSecurityPatches
 	}
@@ -153,112 +240,170 @@ func Search(security, wild [][]float64, opts *Options) ([]Link, error) {
 	if err := validateDims(security, wild); err != nil {
 		return nil, err
 	}
-	var o Options
-	if opts != nil {
-		o = *opts
+	// The flat copies are owned by the search, so weighting can run in
+	// place without a second copy.
+	return searchFlat(ctx, flatten(security), flatten(wild), opts, true)
+}
+
+// SearchMatrix is Search over pre-flattened matrices. The inputs are not
+// mutated: with normalization enabled the engine weights a private copy.
+func SearchMatrix(ctx context.Context, security, wild *Matrix, opts *Options) ([]Link, error) {
+	if security == nil || security.rows == 0 {
+		return nil, ErrNoSecurityPatches
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
+	if wild == nil || wild.rows == 0 {
+		return nil, ErrNoWildPatches
 	}
+	if security.cols != wild.cols {
+		return nil, fmt.Errorf("%w: security rows have %d features, wild rows %d",
+			ErrDimensionMismatch, security.cols, wild.cols)
+	}
+	return searchFlat(ctx, security, wild, opts, false)
+}
+
+// searchFlat is the engine core. owned reports whether sec/wld are private
+// to this call (weighting may mutate them) or caller-visible (weighting
+// must copy).
+func searchFlat(ctx context.Context, sec, wld *Matrix, opts *Options, owned bool) ([]Link, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := opts.resolved()
 	start := time.Now()
-	rescans := 0
+	stats := Stats{SecurityRows: sec.rows, WildCols: wld.rows}
 
-	sec, wld := security, wild
 	if !o.DisableNormalization {
-		w := Weights(security, wild)
-		sec = weighted(security, w)
-		wld = weighted(wild, w)
-	}
-
-	m := len(sec)
-	n := len(wld)
-
-	// rowMin scans row i over columns not in `used`, returning the best
-	// (distance^2, column).
-	rowMin := func(i int, used []bool) (float64, int) {
-		best := math.Inf(1)
-		bestJ := -1
-		row := sec[i]
-		for j := 0; j < n; j++ {
-			if used != nil && used[j] {
-				continue
-			}
-			if d := dist2(row, wld[j]); d < best {
-				best = d
-				bestJ = j
-			}
+		w := weightsFlat(sec, wld)
+		if owned {
+			applyWeights(sec, w)
+			applyWeights(wld, w)
+		} else {
+			sec = weightedClone(sec, w)
+			wld = weightedClone(wld, w)
 		}
-		return best, bestJ
 	}
+	e := newEngine(sec, wld)
+	m, n := sec.rows, wld.rows
 
-	// Initial per-row minima (Algorithm 1 lines 2-3), in parallel.
+	// Phase 1 — initial per-row (best, runner-up) minima (Algorithm 1
+	// lines 2-3), in parallel over rows. Each row makes one outward walk
+	// over the norm-sorted wild pool; rows are handed out in ascending norm
+	// order so consecutive rows walk strongly overlapping windows of the
+	// packed prefix array, keeping the hot data cache-resident. Visiting
+	// order does not matter for correctness: updates are lexicographic on
+	// (distance, original column) and all rejections are strictly
+	// conservative, so the result is identical to the reference's ascending
+	// scan (see kernel.go).
 	u := make([]float64, m)
 	v := make([]int, m)
-	var wg sync.WaitGroup
-	chunk := (m + o.Workers - 1) / o.Workers
-	for w0 := 0; w0 < m; w0 += chunk {
-		hi := w0 + chunk
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				u[i], v[i] = rowMin(i, nil)
-			}
-		}(w0, hi)
+	u2 := make([]float64, m)
+	v2 := make([]int, m)
+	sv := make([]bool, m) // runner-up cache valid
+	if err := e.parallelRows(ctx, o.Workers, m, &stats, func(t int, c *scanCounters) {
+		i := e.secOrder[t]
+		u[i], v[i], u2[i], v2[i] = e.scanRowSorted2(i, nil, c)
+	}); err != nil {
+		return nil, err
 	}
-	wg.Wait()
+	for i := 0; i < m; i++ {
+		sv[i] = v2[i] >= 0
+	}
 
-	// Greedy assignment (Algorithm 1 lines 5-17).
+	// Phase 2 — heap-driven greedy assignment (Algorithm 1 lines 5-17).
+	// Every pending row keeps exactly one live heap entry keyed by its
+	// current u, so a pop is the exact argmin the reference loop rescans
+	// O(M) rows for. A collision is resolved from the cached runner-up
+	// when its column is still free (provably equal to a fresh rescan:
+	// only the contested best column could have beaten it, and used
+	// columns only shrink the candidate set); otherwise the row is
+	// rescanned over unused columns.
 	used := make([]bool, n)
-	links := make([]Link, 0, m)
-	assigned := 0
 	total := m
 	if n < m {
 		total = n
 	}
-	done := make([]bool, m)
-	for assigned < total {
-		// m0 <- argmin U over unassigned rows.
-		m0 := -1
-		for i := 0; i < m; i++ {
-			if !done[i] && (m0 == -1 || u[i] < u[m0]) {
-				m0 = i
-			}
+	links := make([]Link, 0, total)
+	h := newRowHeap(m)
+	for i := 0; i < m; i++ {
+		h.push(u[i], i)
+	}
+	var rescanCounters scanCounters
+	assigned := 0
+	for assigned < total && h.len() > 0 {
+		stats.HeapPops++
+		if stats.HeapPops&1023 == 0 && ctx.Err() != nil {
+			return nil, canceled(ctx)
 		}
-		if m0 == -1 {
-			break
-		}
-		n0 := v[m0]
-		if n0 < 0 || used[n0] {
-			// Column collision: rescan this row over unused columns
-			// (Algorithm 1 lines 10-15).
-			rescans++
-			d, j := rowMin(m0, used)
-			if j < 0 {
-				done[m0] = true
-				continue
-			}
-			u[m0], v[m0] = d, j
-			// Re-enter the loop: another row may now have the global min.
+		d, i := h.pop()
+		j := v[i]
+		if !used[j] {
+			used[j] = true
+			links = append(links, Link{Security: i, Wild: j, Distance: math.Sqrt(d)})
+			assigned++
 			continue
 		}
-		used[n0] = true
-		done[m0] = true
-		links = append(links, Link{Security: m0, Wild: n0, Distance: math.Sqrt(u[m0])})
-		assigned++
-	}
-	if o.Stats != nil {
-		*o.Stats = Stats{
-			SecurityRows: m,
-			WildCols:     n,
-			Rescans:      rescans,
-			Duration:     time.Since(start),
+		if sv[i] && !used[v2[i]] {
+			// Column collision absorbed by the cached second-best.
+			stats.SecondBestHits++
+			u[i], v[i], sv[i] = u2[i], v2[i], false
+			h.push(u[i], i)
+			continue
 		}
+		// Full rescan over the unused columns, refreshing the runner-up.
+		stats.Rescans++
+		d1, j1, d2, j2 := e.scanRowSorted2(i, used, &rescanCounters)
+		if j1 < 0 {
+			continue // no free column left for this row
+		}
+		u[i], v[i] = d1, j1
+		u2[i], v2[i] = d2, j2
+		sv[i] = j2 >= 0
+		h.push(d1, i)
+	}
+	stats.addScan(rescanCounters)
+	stats.finish(start)
+	if o.Stats != nil {
+		*o.Stats = stats
 	}
 	return links, nil
+}
+
+// parallelRows runs fn(i) for every row on o.Workers goroutines, checking
+// ctx between row chunks and merging per-worker scan counters into stats.
+func (e *engine) parallelRows(ctx context.Context, workers, m int, stats *Stats, fn func(i int, c *scanCounters)) error {
+	if workers > m {
+		workers = m
+	}
+	var (
+		next int64
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var c scanCounters
+			for {
+				// Each chunk is one security row (an O(N·d) unit of work);
+				// ctx is checked before every chunk so cancellation
+				// propagates promptly even mid-scan.
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= m || ctx.Err() != nil {
+					break
+				}
+				fn(i, &c)
+			}
+			mu.Lock()
+			stats.addScan(c)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return canceled(ctx)
+	}
+	return nil
 }
 
 // TotalDistance sums link distances (the optimization objective).
@@ -273,8 +418,9 @@ func TotalDistance(links []Link) float64 {
 // KNNSelect is the contrast the paper draws in Sec. III-B-3: plain 1-nearest
 // -neighbor selection where a wild patch may be chosen by multiple verified
 // patches. It returns the set of distinct selected columns (size <= M),
-// used by the KNN-vs-nearest-link ablation.
-func KNNSelect(security, wild [][]float64, opts *Options) ([]int, error) {
+// used by the KNN-vs-nearest-link ablation. ctx is checked between row
+// chunks; cancellation aborts with a wrapped context error.
+func KNNSelect(ctx context.Context, security, wild [][]float64, opts *Options) ([]int, error) {
 	if len(security) == 0 {
 		return nil, ErrNoSecurityPatches
 	}
@@ -284,46 +430,51 @@ func KNNSelect(security, wild [][]float64, opts *Options) ([]int, error) {
 	if err := validateDims(security, wild); err != nil {
 		return nil, err
 	}
-	var o Options
-	if opts != nil {
-		o = *opts
+	return knnFlat(ctx, flatten(security), flatten(wild), opts, true)
+}
+
+// KNNSelectMatrix is KNNSelect over pre-flattened matrices.
+func KNNSelectMatrix(ctx context.Context, security, wild *Matrix, opts *Options) ([]int, error) {
+	if security == nil || security.rows == 0 {
+		return nil, ErrNoSecurityPatches
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
+	if wild == nil || wild.rows == 0 {
+		return nil, ErrNoWildPatches
 	}
+	if security.cols != wild.cols {
+		return nil, fmt.Errorf("%w: security rows have %d features, wild rows %d",
+			ErrDimensionMismatch, security.cols, wild.cols)
+	}
+	return knnFlat(ctx, security, wild, opts, false)
+}
+
+func knnFlat(ctx context.Context, sec, wld *Matrix, opts *Options, owned bool) ([]int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := opts.resolved()
 	start := time.Now()
-	sec, wld := security, wild
+	stats := Stats{SecurityRows: sec.rows, WildCols: wld.rows}
 	if !o.DisableNormalization {
-		w := Weights(security, wild)
-		sec = weighted(security, w)
-		wld = weighted(wild, w)
-	}
-	m := len(sec)
-	choice := make([]int, m)
-	var wg sync.WaitGroup
-	chunk := (m + o.Workers - 1) / o.Workers
-	for w0 := 0; w0 < m; w0 += chunk {
-		hi := w0 + chunk
-		if hi > m {
-			hi = m
+		w := weightsFlat(sec, wld)
+		if owned {
+			applyWeights(sec, w)
+			applyWeights(wld, w)
+		} else {
+			sec = weightedClone(sec, w)
+			wld = weightedClone(wld, w)
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				best := math.Inf(1)
-				bestJ := -1
-				for j := range wld {
-					if d := dist2(sec[i], wld[j]); d < best {
-						best = d
-						bestJ = j
-					}
-				}
-				choice[i] = bestJ
-			}
-		}(w0, hi)
 	}
-	wg.Wait()
+	e := newEngine(sec, wld)
+	m := sec.rows
+	best := make([]float64, m)
+	choice := make([]int, m)
+	if err := e.parallelRows(ctx, o.Workers, m, &stats, func(t int, c *scanCounters) {
+		i := e.secOrder[t]
+		best[i], choice[i] = e.scanRowSortedBest(i, c)
+	}); err != nil {
+		return nil, err
+	}
 	seen := make(map[int]bool, m)
 	var out []int
 	for _, j := range choice {
@@ -332,24 +483,27 @@ func KNNSelect(security, wild [][]float64, opts *Options) ([]int, error) {
 			out = append(out, j)
 		}
 	}
+	stats.finish(start)
 	if o.Stats != nil {
-		*o.Stats = Stats{
-			SecurityRows: m,
-			WildCols:     len(wld),
-			Duration:     time.Since(start),
-		}
+		*o.Stats = stats
 	}
 	return out, nil
 }
 
 // DistanceMatrix materializes the full weighted distance matrix (tests and
-// small inputs only).
-func DistanceMatrix(security, wild [][]float64, normalize bool) [][]float64 {
+// small inputs only). Ragged rows return a wrapped ErrDimensionMismatch.
+func DistanceMatrix(security, wild [][]float64, normalize bool) ([][]float64, error) {
+	if err := validateDims(security, wild); err != nil {
+		return nil, err
+	}
 	sec, wld := security, wild
 	if normalize {
-		w := Weights(security, wild)
-		sec = weighted(security, w)
-		wld = weighted(wild, w)
+		w, err := Weights(security, wild)
+		if err != nil {
+			return nil, err
+		}
+		sec = weightedRows(security, w)
+		wld = weightedRows(wild, w)
 	}
 	d := make([][]float64, len(sec))
 	for i, row := range sec {
@@ -358,5 +512,19 @@ func DistanceMatrix(security, wild [][]float64, normalize bool) [][]float64 {
 			d[i][j] = math.Sqrt(dist2(row, wld[j]))
 		}
 	}
-	return d
+	return d, nil
+}
+
+// weightedRows returns rows scaled by w (row-per-row allocation; used only
+// by the reference paths and DistanceMatrix).
+func weightedRows(rows [][]float64, w []float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, row := range rows {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = v * w[j]
+		}
+		out[i] = r
+	}
+	return out
 }

@@ -1,17 +1,24 @@
 package nearestlink
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 )
+
+var bg = context.Background()
 
 func TestWeights(t *testing.T) {
 	a := [][]float64{{2, -8, 0}}
 	b := [][]float64{{-4, 1, 0}}
-	w := Weights(a, b)
+	w, err := Weights(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if w[0] != 0.25 || w[1] != 0.125 {
 		t.Errorf("weights = %v", w)
 	}
@@ -20,12 +27,47 @@ func TestWeights(t *testing.T) {
 	}
 }
 
+func TestWeightsDimensionMismatch(t *testing.T) {
+	// Ragged rows used to make Weights index past the end of short rows.
+	if _, err := Weights([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("Weights err = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := Weights([][]float64{{1, 2}}, [][]float64{{1, 2, 3}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("cross-set Weights err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m, err := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 || m.Stride() != 3 {
+		t.Fatalf("shape = %dx%d stride %d", m.Rows(), m.Cols(), m.Stride())
+	}
+	if got := m.Row(1); got[0] != 4 || got[2] != 6 {
+		t.Errorf("row 1 = %v", got)
+	}
+	// Row views alias the flat backing array.
+	m.Row(0)[1] = 99
+	if m.Data()[1] != 99 {
+		t.Error("Row view does not alias Data")
+	}
+	views := m.RowSlices()
+	if len(views) != 2 || views[0][1] != 99 {
+		t.Errorf("RowSlices = %v", views)
+	}
+	if _, err := MatrixFromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("ragged err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
 func TestSearchHandPicked(t *testing.T) {
 	// Two security patches; wild pool where the greedy assignment is
 	// unambiguous.
 	sec := [][]float64{{0}, {10}}
 	wild := [][]float64{{9}, {1}, {50}}
-	links, err := Search(sec, wild, &Options{DisableNormalization: true})
+	links, err := Search(bg, sec, wild, &Options{DisableNormalization: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +89,7 @@ func TestSearchCollisionResolution(t *testing.T) {
 	// contested column (greedy global-min order).
 	sec := [][]float64{{0}, {0.5}}
 	wild := [][]float64{{0.1}, {3}}
-	links, err := Search(sec, wild, &Options{DisableNormalization: true})
+	links, err := Search(bg, sec, wild, &Options{DisableNormalization: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +103,44 @@ func TestSearchCollisionResolution(t *testing.T) {
 	}
 }
 
+func TestSearchMatrix(t *testing.T) {
+	sec, err := MatrixFromRows([][]float64{{0}, {0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wild, err := MatrixFromRows([][]float64{{0.1}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secBefore := append([]float64(nil), sec.Data()...)
+	links, err := SearchMatrix(bg, sec, wild, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 {
+		t.Fatalf("links = %d", len(links))
+	}
+	// Normalization must not mutate the caller's matrices.
+	for i, v := range sec.Data() {
+		if v != secBefore[i] {
+			t.Fatalf("SearchMatrix mutated input at %d: %v != %v", i, v, secBefore[i])
+		}
+	}
+	// Column-count mismatch across matrices.
+	bad, err := MatrixFromRows([][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SearchMatrix(bg, sec, bad, nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("mismatched matrices err = %v", err)
+	}
+}
+
 func TestSearchUniqueness(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	sec := randRows(rng, 40, 5)
 	wild := randRows(rng, 200, 5)
-	links, err := Search(sec, wild, nil)
+	links, err := Search(bg, sec, wild, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +167,7 @@ func TestSearchUniqueness(t *testing.T) {
 func TestSearchMoreSecurityThanWild(t *testing.T) {
 	sec := [][]float64{{0}, {1}, {2}, {3}}
 	wild := [][]float64{{0}, {1}}
-	links, err := Search(sec, wild, &Options{DisableNormalization: true})
+	links, err := Search(bg, sec, wild, &Options{DisableNormalization: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,10 +177,10 @@ func TestSearchMoreSecurityThanWild(t *testing.T) {
 }
 
 func TestSearchErrors(t *testing.T) {
-	if _, err := Search(nil, [][]float64{{1}}, nil); err != ErrNoSecurityPatches {
+	if _, err := Search(bg, nil, [][]float64{{1}}, nil); err != ErrNoSecurityPatches {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := Search([][]float64{{1}}, nil, nil); err != ErrNoWildPatches {
+	if _, err := Search(bg, [][]float64{{1}}, nil, nil); err != ErrNoWildPatches {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -115,21 +190,57 @@ func TestSearchDimensionMismatch(t *testing.T) {
 	// surface as a descriptive error.
 	sec := [][]float64{{1, 2}, {3, 4}}
 	wild := [][]float64{{1, 2}, {3}}
-	if _, err := Search(sec, wild, nil); !errors.Is(err, ErrDimensionMismatch) {
+	if _, err := Search(bg, sec, wild, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Errorf("Search err = %v, want ErrDimensionMismatch", err)
 	} else if !strings.Contains(err.Error(), "wild row 1") {
 		t.Errorf("error lacks row detail: %v", err)
 	}
 	// Mismatch inside the security set itself.
-	if _, err := Search([][]float64{{1, 2}, {3, 4, 5}}, [][]float64{{1, 2}}, nil); !errors.Is(err, ErrDimensionMismatch) {
+	if _, err := Search(bg, [][]float64{{1, 2}, {3, 4, 5}}, [][]float64{{1, 2}}, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Errorf("security mismatch err = %v", err)
 	}
-	if _, err := KNNSelect(sec, wild, nil); !errors.Is(err, ErrDimensionMismatch) {
+	if _, err := KNNSelect(bg, sec, wild, nil); !errors.Is(err, ErrDimensionMismatch) {
 		t.Errorf("KNNSelect err = %v, want ErrDimensionMismatch", err)
 	}
 	// Matching dims still succeed with normalization disabled too.
-	if _, err := Search(sec, [][]float64{{5, 6}}, &Options{DisableNormalization: true}); err != nil {
+	if _, err := Search(bg, sec, [][]float64{{5, 6}}, &Options{DisableNormalization: true}); err != nil {
 		t.Errorf("valid dims err = %v", err)
+	}
+}
+
+func TestSearchCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sec := randRows(rng, 500, 60)
+	wild := randRows(rng, 50000, 60)
+
+	// A pre-canceled context aborts before any scanning.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Search(ctx, sec, wild, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Search err = %v, want context.Canceled", err)
+	}
+	if _, err := KNNSelect(ctx, sec, wild, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled KNNSelect err = %v, want context.Canceled", err)
+	}
+
+	// Cancellation mid-search aborts promptly: the scan phase checks ctx
+	// between row chunks, so the 500×50k search (well over a millisecond
+	// of work) must return the wrapped error long before completing.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel2()
+	}()
+	start := time.Now()
+	_, err := Search(ctx2, sec, wild, &Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight Search err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "canceled") {
+		t.Errorf("error not descriptive: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v, want prompt abort", elapsed)
 	}
 }
 
@@ -138,7 +249,7 @@ func TestSearchStats(t *testing.T) {
 	sec := randRows(rng, 20, 4)
 	wild := randRows(rng, 80, 4)
 	var st Stats
-	links, err := Search(sec, wild, &Options{Stats: &st})
+	links, err := Search(bg, sec, wild, &Options{Stats: &st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,16 +262,35 @@ func TestSearchStats(t *testing.T) {
 	if st.Rescans < 0 {
 		t.Errorf("rescans = %d", st.Rescans)
 	}
+	if st.HeapPops < 20 {
+		t.Errorf("heap pops = %d, want >= one per assigned row", st.HeapPops)
+	}
+	if st.DistanceEvals <= 0 {
+		t.Errorf("distance evals = %d", st.DistanceEvals)
+	}
+	if st.PrunedFraction < 0 || st.PrunedFraction > 1 {
+		t.Errorf("pruned fraction = %v", st.PrunedFraction)
+	}
 	if len(links) != 20 {
 		t.Errorf("links = %d", len(links))
 	}
 
 	var kst Stats
-	if _, err := KNNSelect(sec, wild, &Options{Stats: &kst}); err != nil {
+	if _, err := KNNSelect(bg, sec, wild, &Options{Stats: &kst}); err != nil {
 		t.Fatal(err)
 	}
 	if kst.SecurityRows != 20 || kst.WildCols != 80 || kst.Duration <= 0 {
 		t.Errorf("knn stats = %+v", kst)
+	}
+
+	var tot Totals
+	tot.Add(st)
+	tot.Add(kst)
+	if tot.Searches != 2 || tot.DistanceEvals != st.DistanceEvals+kst.DistanceEvals {
+		t.Errorf("totals = %+v", tot)
+	}
+	if s := tot.String(); !strings.Contains(s, "searches=2") {
+		t.Errorf("totals string = %q", s)
 	}
 }
 
@@ -168,11 +298,11 @@ func TestSearchDeterministicAcrossWorkers(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	sec := randRows(rng, 30, 8)
 	wild := randRows(rng, 120, 8)
-	l1, err := Search(sec, wild, &Options{Workers: 1})
+	l1, err := Search(bg, sec, wild, &Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	l8, err := Search(sec, wild, &Options{Workers: 8})
+	l8, err := Search(bg, sec, wild, &Options{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,11 +326,11 @@ func TestNormalizationMatters(t *testing.T) {
 	// wins. Normalized, dim-1 shrinks by 1/1000 and wild[0] wins.
 	sec := [][]float64{{1, 0}}
 	wild := [][]float64{{1, 10}, {2, 0}, {0, 1000}}
-	raw, err := Search(sec, wild, &Options{DisableNormalization: true})
+	raw, err := Search(bg, sec, wild, &Options{DisableNormalization: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	norm, err := Search(sec, wild, nil)
+	norm, err := Search(bg, sec, wild, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,14 +347,14 @@ func TestKNNSelectAllowsFewer(t *testing.T) {
 	// one candidate while nearest link yields two.
 	sec := [][]float64{{0}, {0.1}}
 	wild := [][]float64{{0.05}, {9}}
-	knn, err := KNNSelect(sec, wild, &Options{DisableNormalization: true})
+	knn, err := KNNSelect(bg, sec, wild, &Options{DisableNormalization: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(knn) != 1 || knn[0] != 0 {
 		t.Errorf("knn = %v, want [0]", knn)
 	}
-	links, err := Search(sec, wild, &Options{DisableNormalization: true})
+	links, err := Search(bg, sec, wild, &Options{DisableNormalization: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,9 +364,16 @@ func TestKNNSelectAllowsFewer(t *testing.T) {
 }
 
 func TestDistanceMatrix(t *testing.T) {
-	d := DistanceMatrix([][]float64{{0, 0}, {3, 4}}, [][]float64{{0, 0}}, false)
+	d, err := DistanceMatrix([][]float64{{0, 0}, {3, 4}}, [][]float64{{0, 0}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d[0][0] != 0 || d[1][0] != 5 {
 		t.Errorf("matrix = %v", d)
+	}
+	// Ragged rows used to panic; they must error instead.
+	if _, err := DistanceMatrix([][]float64{{0, 0}, {3}}, [][]float64{{0, 0}}, true); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("ragged err = %v, want ErrDimensionMismatch", err)
 	}
 }
 
@@ -247,15 +384,14 @@ func TestTotalDistance(t *testing.T) {
 	}
 }
 
-// TestGreedyMatchesBruteForceOnTiny compares Algorithm 1 against exhaustive
-// column scans on tiny instances, asserting the structural invariants that
-// greedy guarantees: the globally closest pair is always linked first.
+// TestGreedyClosestPairAlwaysLinked asserts the structural invariant greedy
+// guarantees: the globally closest pair is always linked first.
 func TestGreedyClosestPairAlwaysLinked(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 50; trial++ {
 		sec := randRows(rng, 4, 3)
 		wild := randRows(rng, 10, 3)
-		links, err := Search(sec, wild, &Options{DisableNormalization: true})
+		links, err := Search(bg, sec, wild, &Options{DisableNormalization: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -278,6 +414,52 @@ func TestGreedyClosestPairAlwaysLinked(t *testing.T) {
 		}
 		if !found {
 			t.Fatalf("trial %d: global closest pair (%d,%d) not linked: %v", trial, bestM, bestN, links)
+		}
+	}
+}
+
+// TestKernelEquivalence pins the exactness contract of the fast kernels:
+// screening may never reject a candidate the reference-order dist2 would
+// accept (its rejection must be conservative under the reordering error of
+// float64 summation), and the shaded norm bound must never exceed the true
+// squared distance.
+func TestKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(100)
+		a, b := make([]float64, d), make([]float64, d)
+		for j := range a {
+			a[j] = rng.NormFloat64() * 10
+			b[j] = rng.NormFloat64() * 10
+		}
+		want := dist2(a, b)
+		got, maybe := screenDist2(a, b, inf)
+		if !maybe {
+			t.Fatalf("trial %d: screen rejected against an infinite bound", trial)
+		}
+		if rel := math.Abs(got-want) / math.Max(want, 1); rel > 1e-13 {
+			t.Fatalf("trial %d: screen sum %v vs dist2 %v (rel err %v)", trial, got, want, rel)
+		}
+		// No false rejection: any bound the reference-order value beats must
+		// survive screening.
+		for _, bound := range []float64{want * 1.000001, want + 1, want * 4} {
+			if want >= bound {
+				continue
+			}
+			if _, maybe := screenDist2(a, b, bound); !maybe {
+				t.Fatalf("trial %d: screen rejected dist %v against bound %v", trial, want, bound)
+			}
+		}
+		// True rejection against a bound clearly below the distance.
+		if want > 0 {
+			if _, maybe := screenDist2(a, b, want/2); maybe {
+				t.Fatalf("trial %d: bound %v not honored", trial, want/2)
+			}
+		}
+		na, nb := math.Sqrt(dot(a, a)), math.Sqrt(dot(b, b))
+		diff := na - nb
+		if lb := diff * diff * normBoundShade; lb > want {
+			t.Fatalf("trial %d: norm bound %v exceeds true distance %v", trial, lb, want)
 		}
 	}
 }

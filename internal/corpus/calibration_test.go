@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestCalibrationNearestLinkRatio(t *testing.T) {
 			baseRate++
 		}
 	}
-	links, err := nearestlink.Search(seedX, wildX, nil)
+	links, err := nearestlink.Search(context.Background(), seedX, wildX, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

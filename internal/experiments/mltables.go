@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -16,13 +17,22 @@ import (
 )
 
 // nearestLinkCandidates returns the pool indices selected by nearest link
-// search for a verified seed.
+// search for a verified seed. The pool features are flattened into the
+// engine's row-major Matrix once and searched in place.
 func nearestLinkCandidates(seedX [][]float64, pool []augment.Item) ([]int, error) {
 	wildX := make([][]float64, len(pool))
 	for i, it := range pool {
 		wildX[i] = it.Features
 	}
-	links, err := nearestlink.Search(seedX, wildX, nil)
+	sec, err := nearestlink.MatrixFromRows(seedX)
+	if err != nil {
+		return nil, err
+	}
+	wld, err := nearestlink.MatrixFromRows(wildX)
+	if err != nil {
+		return nil, err
+	}
+	links, err := nearestlink.SearchMatrix(context.Background(), sec, wld, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -16,18 +16,51 @@ type Link = nearestlink.Link
 // NearestLinkOptions tunes the search.
 type NearestLinkOptions = nearestlink.Options
 
+// NearestLinkStats is the engine accounting of one search: problem
+// dimensions, distance evaluations, pruned fraction, heap pops, second-best
+// collision hits, rescans, and wall-clock time.
+type NearestLinkStats = nearestlink.Stats
+
+// NearestLinkTotals aggregates NearestLinkStats across searches (e.g. all
+// augmentation rounds of a Build).
+type NearestLinkTotals = nearestlink.Totals
+
+// Matrix is the engine's flat, row-major feature matrix: one contiguous
+// float64 allocation plus a stride, with zero-copy row views. Build one
+// with NewMatrix/MatrixFromRows and search it via NearestLinkMatrix to skip
+// the per-call flattening of the [][]float64 entry points.
+type Matrix = nearestlink.Matrix
+
+// NewMatrix allocates a zeroed rows×cols feature matrix.
+func NewMatrix(rows, cols int) *Matrix { return nearestlink.NewMatrix(rows, cols) }
+
+// MatrixFromRows copies feature rows into a flat Matrix, validating that
+// all rows share one dimensionality.
+func MatrixFromRows(rows [][]float64) (*Matrix, error) {
+	return nearestlink.MatrixFromRows(rows)
+}
+
 // NearestLink runs the paper's Algorithm 1: given the feature rows of
 // verified security patches and of unlabeled wild patches, it selects one
 // distinct wild candidate per security patch, greedily minimizing the total
 // weighted Euclidean link distance. Feature weighting (max-abs
-// normalization) is applied internally.
-func NearestLink(security, wild [][]float64, opts *NearestLinkOptions) ([]Link, error) {
-	return nearestlink.Search(security, wild, opts)
+// normalization) is applied internally. ctx is checked between scan chunks
+// and during assignment; cancellation aborts the search with a wrapped
+// context error.
+func NearestLink(ctx context.Context, security, wild [][]float64, opts *NearestLinkOptions) ([]Link, error) {
+	return nearestlink.Search(ctx, security, wild, opts)
+}
+
+// NearestLinkMatrix is NearestLink over pre-flattened matrices; the inputs
+// are never mutated.
+func NearestLinkMatrix(ctx context.Context, security, wild *Matrix, opts *NearestLinkOptions) ([]Link, error) {
+	return nearestlink.SearchMatrix(ctx, security, wild, opts)
 }
 
 // FeatureWeights computes the per-dimension max-abs weights w_j = 1/max|a_j|
-// used to normalize the feature space (Sec. III-B-2).
-func FeatureWeights(sets ...[][]float64) []float64 {
+// used to normalize the feature space (Sec. III-B-2). Ragged rows return a
+// wrapped error instead of panicking.
+func FeatureWeights(sets ...[][]float64) ([]float64, error) {
 	return nearestlink.Weights(sets...)
 }
 
@@ -37,7 +70,8 @@ type AugmentItem = augment.Item
 // AugmentConfig tunes the human-in-the-loop augmentation driver.
 type AugmentConfig = augment.Config
 
-// AugmentRound is one round's accounting (a Table II row).
+// AugmentRound is one round's accounting (a Table II row), including the
+// round's nearest-link engine stats.
 type AugmentRound = augment.Round
 
 // AugmentResult is the outcome of an augmentation run.
@@ -50,9 +84,9 @@ type Verifier = augment.Verifier
 
 // Augment runs the dataset augmentation loop of Fig. 2 over one unlabeled
 // pool: nearest-link candidate selection, verification, and loop judgment.
-// startRound numbers the produced rounds. ctx is checked between rounds and
-// between verifications; cancellation aborts the run with a wrapped context
-// error.
+// startRound numbers the produced rounds. ctx is checked between rounds,
+// inside each round's nearest link search, and between verifications;
+// cancellation aborts the run with a wrapped context error.
 func Augment(ctx context.Context, seed [][]float64, pool []AugmentItem, v Verifier, startRound int, cfg AugmentConfig) (*AugmentResult, error) {
 	return augment.Run(ctx, seed, pool, v, startRound, cfg)
 }

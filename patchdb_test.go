@@ -73,16 +73,44 @@ func TestCategorizeListing1(t *testing.T) {
 func TestNearestLinkFacade(t *testing.T) {
 	sec := [][]float64{{0, 0}, {5, 5}}
 	wild := [][]float64{{0.1, 0}, {5, 5.1}, {99, 99}}
-	links, err := NearestLink(sec, wild, nil)
+	links, err := NearestLink(context.Background(), sec, wild, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(links) != 2 {
 		t.Fatalf("links = %d", len(links))
 	}
-	w := FeatureWeights(sec, wild)
+	w, err := FeatureWeights(sec, wild)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(w) != 2 {
 		t.Fatalf("weights = %v", w)
+	}
+
+	secM, err := MatrixFromRows(sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wildM, err := MatrixFromRows(wild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats NearestLinkStats
+	mLinks, err := NearestLinkMatrix(context.Background(), secM, wildM, &NearestLinkOptions{Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mLinks, links) {
+		t.Fatalf("matrix links = %v, want %v", mLinks, links)
+	}
+	if stats.HeapPops == 0 || stats.DistanceEvals == 0 {
+		t.Fatalf("stats not populated: %+v", stats)
+	}
+	var totals NearestLinkTotals
+	totals.Add(stats)
+	if totals.Searches != 1 || totals.String() == "" {
+		t.Fatalf("totals = %+v", totals)
 	}
 }
 
@@ -265,7 +293,10 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 		}
 		for i := range rep1.Rounds {
 			a, b := rep1.Rounds[i], repN.Rounds[i]
-			a.SearchTime, b.SearchTime = 0, 0 // wall-clock may differ
+			// Wall-clock may differ; every engine counter (evals, pruned,
+			// heap pops, rescans) must not.
+			a.SearchTime, b.SearchTime = 0, 0
+			a.Search.Duration, b.Search.Duration = 0, 0
 			if a != b {
 				t.Fatalf("workers=%d: round %d accounting differs: %+v vs %+v", workers, i, b, a)
 			}
