@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-nearestlink verify verify-chaos clean
+.PHONY: build test vet race bench bench-nearestlink verify verify-chaos verify-telemetry clean
 
 build:
 	$(GO) build ./...
@@ -33,9 +33,15 @@ verify-chaos:
 	$(GO) test -race -count=1 ./internal/faults/ ./internal/retry/
 	$(GO) test -race -count=1 -run 'Chaos|Fault|PatchTooLarge|Serve' ./internal/nvd/ .
 
+# verify-telemetry runs the observability suites under the race detector:
+# the metrics registry / tracer / exporters and the stage-metrics adapter.
+verify-telemetry:
+	$(GO) test -race -count=1 ./internal/telemetry/ ./internal/pipeline/
+
 # verify is the full pre-merge tier: static analysis, the fault-injection
-# suite, and the race-enabled test suite (which subsumes the plain test run).
-verify: vet verify-chaos race
+# and telemetry suites, and the race-enabled test suite (which subsumes the
+# plain test run).
+verify: vet verify-chaos verify-telemetry race
 
 clean:
 	$(GO) clean ./...

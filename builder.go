@@ -17,6 +17,7 @@ import (
 	"patchdb/internal/nvd"
 	"patchdb/internal/oracle"
 	"patchdb/internal/pipeline"
+	"patchdb/internal/telemetry"
 )
 
 // Stage identifies one phase of the construction pipeline; see the Stage*
@@ -93,6 +94,14 @@ type BuilderConfig struct {
 	// is called synchronously from pipeline goroutines and must be cheap
 	// and safe for concurrent use.
 	Progress pipeline.Progress
+	// Telemetry, when non-nil, is the hub (metrics registry + span tracer)
+	// the run instruments into — point a telemetry.Serve endpoint at it to
+	// scrape /metrics during the build. Nil uses a private hub, so
+	// concurrent Builds never mix counters.
+	Telemetry *telemetry.Hub
+	// TelemetryOut, when non-empty, is a path Build writes the end-of-run
+	// RunReport JSON to (also available as BuildReport.Run).
+	TelemetryOut string
 }
 
 func (c BuilderConfig) withDefaults() BuilderConfig {
@@ -160,6 +169,10 @@ type BuildReport struct {
 	// Stages is the per-stage wall-clock and item accounting of the run,
 	// in pipeline order.
 	Stages []StageStat
+	// Run is the unified telemetry artifact of the build: stage timings,
+	// crawl and nearest-link accounting, the metrics-registry snapshot, and
+	// the buffered trace spans.
+	Run *telemetry.RunReport
 }
 
 // Build runs the full PatchDB pipeline against a simulated world: it
@@ -184,7 +197,14 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed + 9000))
-	metrics := &pipeline.Metrics{}
+	hub := cfg.Telemetry
+	if hub == nil {
+		hub = telemetry.NewHub()
+	}
+	ctx = telemetry.WithHub(ctx, hub)
+	ctx, buildSpan := telemetry.Start(ctx, "build")
+	defer buildSpan.End()
+	metrics := pipeline.NewMetrics(hub.Registry)
 
 	gen := corpus.NewGenerator(corpus.Config{Seed: cfg.Seed})
 	nvdCommits := gen.GenerateNVD(cfg.NVDSize)
@@ -215,6 +235,7 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 			Routes:     []faults.Route{{Rate: cfg.FaultRate}},
 			RetryAfter: 20 * time.Millisecond,
 			HangFor:    25 * time.Millisecond,
+			Registry:   hub.Registry,
 		}).Wrap
 	}
 	baseURL, err := svc.Start()
@@ -291,8 +312,11 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 	// NVD-based dataset from the crawled patches; feature extraction runs
 	// on the worker pool, record assembly stays in feed order.
 	stopExtract := metrics.Timer(StageExtract)
+	_, seedSpan := telemetry.Start(ctx, "extract.seed")
+	seedSpan.SetAttr("items", len(crawled))
 	crawledFeatures, err := mapConcurrently(ctx, len(crawled), cfg.Workers, extractNotify,
 		func(i int) []float64 { return features.Extract(crawled[i].Patch, 0) })
+	seedSpan.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("build: extract nvd features: %w", err)
 	}
@@ -330,8 +354,12 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 			return nil, nil, fmt.Errorf("build: canceled before pool %d: %w", i+1, err)
 		}
 		stopExtract := metrics.Timer(StageExtract)
+		_, poolSpan := telemetry.Start(ctx, "extract.pool")
+		poolSpan.SetAttr("pool", i+1)
+		poolSpan.SetAttr("items", len(pool))
 		poolFeatures, err := mapConcurrently(ctx, len(pool), cfg.Workers, extractNotify,
 			func(j int) []float64 { return features.Extract(pool[j].Commit.Patch(), 0) })
+		poolSpan.End()
 		if err != nil {
 			return nil, nil, fmt.Errorf("build: extract pool %d features: %w", i+1, err)
 		}
@@ -342,19 +370,27 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 		}
 
 		stopAugment := metrics.Timer(StageAugment)
+		_, augSpan := telemetry.Start(ctx, "augment.pool")
+		augSpan.SetAttr("pool", i+1)
 		res, err := augment.Run(ctx, seedFeatures, items, verifier, round, augment.Config{
 			MaxRounds:      cfg.RoundsPerPool[i],
 			RatioThreshold: cfg.RatioThreshold,
 			Workers:        cfg.Workers,
+			Registry:       hub.Registry,
 		})
 		if err != nil {
+			augSpan.End()
 			return nil, nil, fmt.Errorf("build: %w", err)
 		}
+		augSpan.SetAttr("rounds", len(res.Rounds))
+		augSpan.End()
 		stopAugment(len(res.Rounds))
 		for _, r := range res.Rounds {
 			metrics.Observe(StageSearch, r.SearchTime, r.SearchRange)
-			report.Search.Add(r.Search)
 		}
+		// The run's engine totals are snapshotted once by augment.Run after
+		// its final round, so the build report cannot under-count rescans.
+		report.Search.Merge(res.Search)
 		augmentNotify.Done(len(res.Rounds))
 		report.Rounds = append(report.Rounds, res.Rounds...)
 		round += len(res.Rounds)
@@ -381,6 +417,8 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 		synthTotal := len(ds.NVD) + len(ds.Wild) + len(ds.NonSecurity)
 		synthNotify := pipeline.NewNotifier(StageSynthesize, synthTotal, cfg.Progress)
 		stopSynth := metrics.Timer(StageSynthesize)
+		_, synthSpan := telemetry.Start(ctx, "synthesize")
+		defer synthSpan.End()
 		ov := &oversample.Oversampler{MaxPerPatch: cfg.SyntheticPerPatch, Rand: rng}
 		synthesize := func(recs []Record, security bool) error {
 			for _, r := range recs {
@@ -416,9 +454,54 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 			return nil, nil, err
 		}
 		stopSynth(len(ds.Synthetic))
+		synthSpan.SetAttr("items", len(ds.Synthetic))
+		synthSpan.End()
 	}
 	report.Stages = metrics.Snapshot()
+	buildSpan.End()
+	report.Run = buildRunReport(hub, report)
+	if cfg.TelemetryOut != "" {
+		if err := report.Run.WriteFile(cfg.TelemetryOut); err != nil {
+			return nil, nil, fmt.Errorf("build: %w", err)
+		}
+	}
 	return ds, report, nil
+}
+
+// buildRunReport assembles the unified telemetry artifact of a finished
+// build: stage timings, crawl and nearest-link accounting, the registry
+// snapshot, and the trace buffer.
+func buildRunReport(hub *telemetry.Hub, report *BuildReport) *telemetry.RunReport {
+	rr := telemetry.NewRunReport("patchdb.Build", hub)
+	for _, st := range report.Stages {
+		rr.Stages = append(rr.Stages, telemetry.StageReport{
+			Stage:      string(st.Stage),
+			DurationNS: st.Duration.Nanoseconds(),
+			Items:      st.Items,
+		})
+	}
+	rr.Crawl = &telemetry.CrawlReport{
+		Entries:         report.Crawl.Entries,
+		WithPatchRefs:   report.Crawl.WithPatchRefs,
+		Downloaded:      report.Crawl.Downloaded,
+		EmptyAfterClean: report.Crawl.EmptyAfterClean,
+		Retries:         report.Crawl.Retries,
+		Quarantined:     report.Crawl.Quarantined,
+		BreakerTrips:    report.Crawl.BreakerTrips,
+		Degraded:        report.Degraded,
+	}
+	rr.Search = &telemetry.SearchReport{
+		Searches:       report.Search.Searches,
+		DistanceEvals:  report.Search.DistanceEvals,
+		NormPruned:     report.Search.NormPruned,
+		EarlyExited:    report.Search.EarlyExited,
+		PrunedFraction: report.Search.PrunedFraction(),
+		HeapPops:       report.Search.HeapPops,
+		SecondBestHits: report.Search.SecondBestHits,
+		Rescans:        report.Search.Rescans,
+		DurationNS:     report.Search.Duration.Nanoseconds(),
+	}
+	return rr
 }
 
 // mapConcurrently computes fn(i) for i in [0, n) on a bounded worker pool,

@@ -11,6 +11,8 @@
 //	patchdb-bench -only BUILD     # end-to-end pipeline with stage timings
 //	patchdb-bench -only CHAOS     # crawl resilience under injected faults
 //	patchdb-bench -only NEARESTLINK  # search engine sweep -> BENCH_nearestlink.json
+//	patchdb-bench -only BUILD -serve-metrics 127.0.0.1:9090  # scrape /metrics live
+//	patchdb-bench -only BUILD -telemetry-out report.json     # write the RunReport
 package main
 
 import (
@@ -39,8 +41,20 @@ func run() error {
 		only      = flag.String("only", "", "comma-separated experiment ids (II,III,IV,V,VI,VII,F6,BUILD,CHAOS,NEARESTLINK); empty = all")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "BUILD/CHAOS/NEARESTLINK experiment worker-pool size (0 = GOMAXPROCS)")
+		telOut    = flag.String("telemetry-out", "", "write the BUILD experiment's RunReport JSON to this path (empty = disabled)")
+		telServe  = flag.String("serve-metrics", "", "serve /metrics and /debug/pprof on this address for the whole bench run (empty = disabled)")
 	)
 	flag.Parse()
+
+	hub := patchdb.NewTelemetryHub()
+	if *telServe != "" {
+		srv, err := patchdb.ServeTelemetry(*telServe, hub)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving %s/metrics and %s/debug/pprof/\n", srv.URL, srv.URL)
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -82,7 +96,7 @@ func run() error {
 		{"F6", func() (fmt.Stringer, error) { return lab.RunFigure6() }},
 		{"VI", func() (fmt.Stringer, error) { return lab.RunTableVI() }},
 		{"VII", func() (fmt.Stringer, error) { return lab.RunTableVII() }},
-		{"BUILD", func() (fmt.Stringer, error) { return runBuild(scale, *workers) }},
+		{"BUILD", func() (fmt.Stringer, error) { return runBuild(scale, *workers, hub, *telOut) }},
 		{"CHAOS", func() (fmt.Stringer, error) { return runChaos(scale.NVDSeed, scale.Seed, *workers) }},
 		{"NEARESTLINK", func() (fmt.Stringer, error) { return runNearestLink(scale, *workers) }},
 	}
@@ -129,8 +143,10 @@ func (b buildResult) String() string {
 }
 
 // runBuild executes the full concurrent pipeline at the scale's sizes,
-// rendering live per-stage progress on stderr.
-func runBuild(scale experiments.Scale, workers int) (fmt.Stringer, error) {
+// rendering live per-stage progress on stderr. The build publishes into hub
+// (so a -serve-metrics endpoint sees it live) and, when telemetryOut is
+// non-empty, writes its RunReport artifact there.
+func runBuild(scale experiments.Scale, workers int, hub *patchdb.TelemetryHub, telemetryOut string) (fmt.Stringer, error) {
 	var mu sync.Mutex
 	lastPct := map[patchdb.Stage]int{}
 	ds, report, err := patchdb.Build(context.Background(), patchdb.BuilderConfig{
@@ -140,6 +156,8 @@ func runBuild(scale experiments.Scale, workers int) (fmt.Stringer, error) {
 		WildPools:       []int{scale.SetI, scale.SetII, scale.SetIII},
 		RoundsPerPool:   []int{3, 1, 1},
 		Workers:         workers,
+		Telemetry:       hub,
+		TelemetryOut:    telemetryOut,
 		Progress: func(stage patchdb.Stage, done, total int) {
 			mu.Lock()
 			defer mu.Unlock()
@@ -159,6 +177,9 @@ func runBuild(scale experiments.Scale, workers int) (fmt.Stringer, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if telemetryOut != "" {
+		fmt.Fprintln(os.Stderr, "wrote run report", telemetryOut)
 	}
 	return buildResult{stats: ds.Stats(), report: report}, nil
 }

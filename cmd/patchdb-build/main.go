@@ -8,6 +8,8 @@
 //	patchdb-build -workers 16 -progress          # parallel run with a live stage view
 //	patchdb-build -feed-noise=-1 -ratio-threshold=-1  # disable noise and early exit
 //	patchdb-build -fault-rate 0.3 -max-retries 3 # chaos run: inject crawl faults
+//	patchdb-build -telemetry-out patchdb-run-report.json  # write the RunReport artifact
+//	patchdb-build -serve-metrics 127.0.0.1:9090  # scrape /metrics + pprof during the build
 package main
 
 import (
@@ -46,6 +48,8 @@ func run() error {
 		faultRate = flag.Float64("fault-rate", 0, "inject transient crawl faults at this per-request probability (0 = none)")
 		retries   = flag.Int("max-retries", 0, "per-download retry budget after the first attempt (0 = default 3, negative disables)")
 		failRatio = flag.Float64("max-failure-ratio", 0, "quarantined-download ratio that fails the build (0 = default 0.25, negative = never fail)")
+		telOut    = flag.String("telemetry-out", "", "write the end-of-run RunReport JSON to this path (empty = disabled; conventionally "+patchdb.DefaultRunReportPath+")")
+		telServe  = flag.String("serve-metrics", "", "serve /metrics and /debug/pprof on this address for the duration of the build (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -74,6 +78,17 @@ func run() error {
 	}
 	if *progress {
 		cfg.Progress = progressRenderer(os.Stderr)
+	}
+	hub := patchdb.NewTelemetryHub()
+	cfg.Telemetry = hub
+	cfg.TelemetryOut = *telOut
+	if *telServe != "" {
+		srv, err := patchdb.ServeTelemetry(*telServe, hub)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving %s/metrics and %s/debug/pprof/\n", srv.URL, srv.URL)
 	}
 
 	// Ctrl-C cancels the pipeline cleanly (Build checks the context between
@@ -109,6 +124,10 @@ func run() error {
 		stats.NVD, stats.Wild, stats.NonSecurity, stats.Synthetic, report.HumanVerifications)
 	fmt.Println("stage timings:")
 	fmt.Println(patchdb.FormatStages(report.Stages))
+
+	if *telOut != "" {
+		fmt.Println("wrote run report", *telOut)
+	}
 
 	if err := ds.SaveJSON(*out); err != nil {
 		return err

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	patchdb-stats -in patchdb.json
+//	patchdb-stats -in patchdb.json -patterns -telemetry-out report.json
 package main
 
 import (
@@ -28,13 +29,19 @@ func run() error {
 	in := flag.String("in", "patchdb.json", "dataset JSON path")
 	patterns := flag.Bool("patterns", false, "also mine and print fix patterns (Table VII style)")
 	minSupport := flag.Int("min-support", 5, "minimum support for mined fix patterns")
+	telOut := flag.String("telemetry-out", "", "write a RunReport JSON with stage timings to this path (empty = disabled)")
 	flag.Parse()
 
+	hub := patchdb.NewTelemetryHub()
+	metrics := patchdb.NewStageMetrics(hub)
+
+	stop := metrics.Timer("load")
 	ds, err := patchdb.LoadDatasetFile(*in)
 	if err != nil {
 		return err
 	}
 	stats := ds.Stats()
+	stop(stats.NVD + stats.Wild + stats.NonSecurity + stats.Synthetic)
 	fmt.Printf("dataset %s\n", *in)
 	fmt.Printf("  NVD-based security patches:  %d\n", stats.NVD)
 	fmt.Printf("  wild-based security patches: %d\n", stats.Wild)
@@ -55,6 +62,7 @@ func run() error {
 	}
 
 	// Cross-check with the rule-based categorizer.
+	stop = metrics.Timer("categorize")
 	agree, parsed := 0, 0
 	for _, r := range sec {
 		p, err := r.Patch()
@@ -66,19 +74,40 @@ func run() error {
 			agree++
 		}
 	}
+	stop(parsed)
 	if parsed > 0 {
 		fmt.Printf("\nrule-based categorizer agreement with labels: %.1f%% (%d/%d)\n",
 			100*float64(agree)/float64(parsed), agree, parsed)
 	}
 
 	if *patterns {
+		stop = metrics.Timer("mine-patterns")
 		templates, err := patchdb.MineDatasetFixPatterns(ds,
 			patchdb.FixPatternMiner{MinSupport: *minSupport, TopK: 3})
 		if err != nil {
 			return fmt.Errorf("mine fix patterns: %w", err)
 		}
+		stop(len(templates))
 		fmt.Println()
 		fmt.Println(patchdb.RenderFixPatterns(templates))
+	}
+
+	if *telOut != "" {
+		rr := patchdb.NewRunReport("patchdb-stats", hub)
+		for _, st := range metrics.Snapshot() {
+			rr.Stages = append(rr.Stages, patchdb.RunReportStage{
+				Stage:      string(st.Stage),
+				DurationNS: st.Duration.Nanoseconds(),
+				Items:      st.Items,
+			})
+		}
+		if err := rr.WriteFile(*telOut); err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Println("stage timings:")
+		fmt.Println(patchdb.FormatStages(metrics.Snapshot()))
+		fmt.Println("wrote run report", *telOut)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"patchdb/internal/core/nearestlink"
+	"patchdb/internal/telemetry"
 )
 
 // Item is one unlabeled wild patch in the search pool.
@@ -40,6 +41,9 @@ type Config struct {
 	RatioThreshold float64
 	// Workers for the nearest link search.
 	Workers int
+	// Registry, when non-nil, receives the nearest-link engine counters of
+	// every round's search.
+	Registry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +79,11 @@ func (r Round) String() string {
 // Result is the outcome of an augmentation run.
 type Result struct {
 	Rounds []Round
+	// Search is the aggregate nearest-link engine accounting across every
+	// round of the run, snapshotted once after the final round completes —
+	// the authoritative totals callers should report (per-round Round.Search
+	// values are the same data, split by round).
+	Search nearestlink.Totals
 	// SecurityIDs are wild patches verified as security patches.
 	SecurityIDs []string
 	// NonSecurityIDs are verified non-security candidates (they join the
@@ -116,11 +125,15 @@ func Run(ctx context.Context, seed [][]float64, pool []Item, verifier Verifier, 
 		}
 		var searchStats nearestlink.Stats
 		links, err := nearestlink.Search(ctx, res.SeedFeatures, wildX,
-			&nearestlink.Options{Workers: cfg.Workers, Stats: &searchStats})
+			&nearestlink.Options{Workers: cfg.Workers, Stats: &searchStats, Registry: cfg.Registry})
 		if err != nil {
 			return nil, fmt.Errorf("augment round %d: %w", startRound+round, err)
 		}
 
+		// searchStats is only copied out after Search has fully returned
+		// (all scan and rescan counters folded in), so the per-round record
+		// and the end-of-run totals below always agree with the engine's
+		// actual work.
 		r := Round{
 			Round:       startRound + round,
 			SearchRange: len(active),
@@ -162,6 +175,12 @@ func Run(ctx context.Context, seed [][]float64, pool []Item, verifier Verifier, 
 		if cfg.RatioThreshold > 0 && r.Ratio < cfg.RatioThreshold {
 			break
 		}
+	}
+	// One snapshot of the engine totals at the end of the run, after every
+	// round (including its rescan passes) has completed, so reported and
+	// actual counts cannot diverge.
+	for _, r := range res.Rounds {
+		res.Search.Add(r.Search)
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"patchdb/internal/core/nearestlink"
+	"patchdb/internal/telemetry"
 )
 
 // mapVerifier labels items by a ground-truth map.
@@ -276,5 +277,56 @@ func TestRunRecordsSearchTime(t *testing.T) {
 	}
 	if res.Rounds[0].SearchTime <= 0 {
 		t.Errorf("search time = %v, want > 0", res.Rounds[0].SearchTime)
+	}
+}
+
+// TestRunSearchTotalsMatchRounds pins the reporting contract: Result.Search
+// is snapshotted once after the final round completes and must equal the sum
+// of every round's engine stats — the numbers a caller reports can never
+// diverge from the work the engine actually did.
+func TestRunSearchTotalsMatchRounds(t *testing.T) {
+	seed, pool, truth := world(5, 30, 150)
+	v := &mapVerifier{truth: truth}
+	res, err := Run(context.Background(), seed, pool, v, 1, Config{MaxRounds: 3, RatioThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) < 2 {
+		t.Fatalf("want multiple rounds, got %d", len(res.Rounds))
+	}
+	var want nearestlink.Totals
+	for _, r := range res.Rounds {
+		want.Add(r.Search)
+	}
+	if res.Search != want {
+		t.Errorf("Result.Search = %+v, want sum of rounds %+v", res.Search, want)
+	}
+	if res.Search.Searches != len(res.Rounds) {
+		t.Errorf("Searches = %d, want one per round (%d)", res.Search.Searches, len(res.Rounds))
+	}
+	if res.Search.DistanceEvals == 0 {
+		t.Error("no distance evaluations recorded")
+	}
+}
+
+// TestRunPublishesRegistryCounters checks that a Run given a registry folds
+// every round's engine counters into it, matching the authoritative totals.
+func TestRunPublishesRegistryCounters(t *testing.T) {
+	seed, pool, truth := world(5, 30, 150)
+	v := &mapVerifier{truth: truth}
+	reg := telemetry.NewRegistry()
+	res, err := Run(context.Background(), seed, pool, v, 1,
+		Config{MaxRounds: 2, RatioThreshold: -1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(nearestlink.MetricSearches).Value(); got != float64(res.Search.Searches) {
+		t.Errorf("registry searches = %v, want %d", got, res.Search.Searches)
+	}
+	if got := reg.Counter(nearestlink.MetricDistanceEvals).Value(); got != float64(res.Search.DistanceEvals) {
+		t.Errorf("registry distance evals = %v, want %d", got, res.Search.DistanceEvals)
+	}
+	if got := reg.Counter(nearestlink.MetricRescans).Value(); got != float64(res.Search.Rescans) {
+		t.Errorf("registry rescans = %v, want %d", got, res.Search.Rescans)
 	}
 }

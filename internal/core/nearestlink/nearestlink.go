@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"patchdb/internal/telemetry"
 )
 
 var inf = math.Inf(1)
@@ -49,6 +51,9 @@ type Options struct {
 	// Stats, when non-nil, is filled with search accounting (timing,
 	// pruning, heap activity) on return.
 	Stats *Stats
+	// Registry, when non-nil, receives the engine counters and search
+	// latency of every call (see the Metric* names in this package).
+	Registry *telemetry.Registry
 }
 
 func (o *Options) resolved() Options {
@@ -131,6 +136,19 @@ func (t *Totals) Add(s Stats) {
 	t.SecondBestHits += s.SecondBestHits
 	t.Rescans += s.Rescans
 	t.Duration += s.Duration
+}
+
+// Merge folds another aggregate into the totals (e.g. one pool's
+// augmentation totals into a build's).
+func (t *Totals) Merge(o Totals) {
+	t.Searches += o.Searches
+	t.DistanceEvals += o.DistanceEvals
+	t.NormPruned += o.NormPruned
+	t.EarlyExited += o.EarlyExited
+	t.HeapPops += o.HeapPops
+	t.SecondBestHits += o.SecondBestHits
+	t.Rescans += o.Rescans
+	t.Duration += o.Duration
 }
 
 // PrunedFraction is the aggregate fraction of candidate pairs rejected
@@ -362,6 +380,7 @@ func searchFlat(ctx context.Context, sec, wld *Matrix, opts *Options, owned bool
 	}
 	stats.addScan(rescanCounters)
 	stats.finish(start)
+	stats.Publish(o.Registry)
 	if o.Stats != nil {
 		*o.Stats = stats
 	}
@@ -484,6 +503,7 @@ func knnFlat(ctx context.Context, sec, wld *Matrix, opts *Options, owned bool) (
 		}
 	}
 	stats.finish(start)
+	stats.Publish(o.Registry)
 	if o.Stats != nil {
 		*o.Stats = stats
 	}

@@ -20,6 +20,17 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"patchdb/internal/telemetry"
+)
+
+// The registry metric families the injector emits when its Config carries a
+// telemetry registry.
+const (
+	// MetricRequests counts every request the injector observed.
+	MetricRequests = "faults_requests_total"
+	// MetricInjected counts injected faults, labeled by class.
+	MetricInjected = "faults_injected_total"
 )
 
 // Class is one injected failure mode.
@@ -72,6 +83,9 @@ type Config struct {
 	// a row the next request passes through, guaranteeing recovery under
 	// a finite retry budget (0 = no cap).
 	MaxConsecutive int
+	// Registry, when non-nil, receives request and per-class injected-fault
+	// counters (MetricRequests, MetricInjected).
+	Registry *telemetry.Registry
 }
 
 // Stats is a snapshot of what the injector has done.
@@ -181,6 +195,7 @@ func (in *Injector) Wrap(next http.Handler) http.Handler {
 // (Seed, path, per-path request number).
 func (in *Injector) decide(path string) (Class, bool) {
 	route := in.route(path)
+	in.cfg.Registry.Counter(MetricRequests).Inc()
 
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -207,6 +222,7 @@ func (in *Injector) decide(path string) (Class, bool) {
 	class := classes[hashDraw(in.cfg.Seed, path, n, 1)%uint64(len(classes))]
 	in.consecutive[path]++
 	in.faults[class]++
+	in.cfg.Registry.Counter(MetricInjected, telemetry.L("class", string(class))).Inc()
 	return class, true
 }
 

@@ -31,6 +31,24 @@ import (
 	"patchdb/internal/diff"
 	"patchdb/internal/gitrepo"
 	"patchdb/internal/retry"
+	"patchdb/internal/telemetry"
+)
+
+// The registry metric families the crawler emits. The crawl publishes into
+// the telemetry hub carried by the Crawl context (falling back to the
+// process-wide default hub), so builds with a private hub stay isolated.
+const (
+	// MetricDownloads counts patches fetched successfully.
+	MetricDownloads = "crawl_downloads_total"
+	// MetricRetries counts extra fetch attempts beyond each request's first.
+	MetricRetries = "crawl_retries_total"
+	// MetricQuarantined counts downloads that exhausted their budget.
+	MetricQuarantined = "crawl_quarantined_total"
+	// MetricEmptyAfterClean counts patches with no C/C++ files left.
+	MetricEmptyAfterClean = "crawl_empty_after_clean_total"
+	// MetricBreakerTrips counts the crawl breaker's closed-to-open
+	// transitions (timing-dependent; outside the determinism contract).
+	MetricBreakerTrips = "crawl_breaker_trips_total"
 )
 
 // Reference is one external hyperlink of a CVE entry.
@@ -264,11 +282,11 @@ func (c *Crawler) maxPatchBytes() int64 {
 }
 
 // policy builds the retry policy every fetch of one Crawl runs under,
-// sharing a single circuit breaker.
-func (c *Crawler) policy() (retry.Policy, *retry.Breaker) {
+// sharing a single circuit breaker, both instrumented against reg.
+func (c *Crawler) policy(reg *telemetry.Registry) (retry.Policy, *retry.Breaker) {
 	br := c.Breaker
 	if br == nil {
-		br = retry.NewBreaker(retry.BreakerConfig{})
+		br = retry.NewBreaker(retry.BreakerConfig{Registry: reg})
 	}
 	return retry.Policy{
 		MaxAttempts: c.MaxAttempts,
@@ -276,6 +294,7 @@ func (c *Crawler) policy() (retry.Policy, *retry.Breaker) {
 		MaxDelay:    c.RetryMaxDelay,
 		Seed:        c.Seed,
 		Breaker:     br,
+		Registry:    reg,
 	}, br
 }
 
@@ -285,6 +304,24 @@ func (c *Crawler) policy() (retry.Policy, *retry.Breaker) {
 // downloads that exhaust their budget land in CrawlStats.Quarantine.
 // ctx cancellation aborts the crawl with a wrapped context error.
 func (c *Crawler) Crawl(ctx context.Context) ([]*CrawledPatch, CrawlStats, error) {
+	hub := telemetry.HubFromContext(ctx)
+	ctx, crawlSpan := telemetry.Start(ctx, "nvd.crawl")
+	var stats CrawlStats
+	defer func() {
+		// Publish whatever the crawl accomplished, including on error and
+		// cancellation paths, so a degraded crawl is visible on /metrics.
+		reg := hub.Registry
+		reg.Counter(MetricDownloads).Add(float64(stats.Downloaded))
+		reg.Counter(MetricRetries).Add(float64(stats.Retries))
+		reg.Counter(MetricQuarantined).Add(float64(stats.Quarantined))
+		reg.Counter(MetricEmptyAfterClean).Add(float64(stats.EmptyAfterClean))
+		reg.Counter(MetricBreakerTrips).Add(float64(stats.BreakerTrips))
+		crawlSpan.SetAttr("entries", stats.Entries)
+		crawlSpan.SetAttr("downloaded", stats.Downloaded)
+		crawlSpan.SetAttr("retries", stats.Retries)
+		crawlSpan.SetAttr("quarantined", stats.Quarantined)
+		crawlSpan.End()
+	}()
 	client := c.Client
 	if client == nil {
 		// Keep-alives are off: net/http transparently re-sends an
@@ -301,10 +338,12 @@ func (c *Crawler) Crawl(ctx context.Context) ([]*CrawledPatch, CrawlStats, error
 	if conc <= 0 {
 		conc = 8
 	}
-	var stats CrawlStats
-	policy, breaker := c.policy()
+	policy, breaker := c.policy(hub.Registry)
 
-	feed, attempts, err := c.fetchFeed(ctx, client, policy)
+	feedCtx, feedSpan := telemetry.Start(ctx, "nvd.fetch_feed")
+	feed, attempts, err := c.fetchFeed(feedCtx, client, policy)
+	feedSpan.SetAttr("attempts", attempts)
+	feedSpan.End()
 	if attempts > 1 {
 		stats.Retries += attempts - 1
 	}
@@ -341,6 +380,8 @@ func (c *Crawler) Crawl(ctx context.Context) ([]*CrawledPatch, CrawlStats, error
 	if c.Progress != nil {
 		c.Progress(0, len(jobs))
 	}
+	_, dlSpan := telemetry.Start(ctx, "nvd.download")
+	dlSpan.SetAttr("jobs", len(jobs))
 
 	// Fixed-size worker pool over job indices. Results (and quarantine
 	// entries) land at their job's index so the output order is
@@ -445,6 +486,7 @@ feed:
 	}
 	stats.Quarantined = len(stats.Quarantine)
 	stats.BreakerTrips = breaker.Trips()
+	dlSpan.End()
 	if err := ctx.Err(); err != nil {
 		return nil, stats, fmt.Errorf("nvd: crawl canceled: %w", err)
 	}

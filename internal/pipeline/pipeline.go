@@ -3,6 +3,11 @@
 // counters, and defines the progress-callback contract that lets CLIs render
 // a live view of a run. Everything here is safe for concurrent use; the
 // builder's worker pools report into one shared Metrics.
+//
+// Since the telemetry layer landed, Metrics is a thin adapter over a
+// telemetry.Registry: every Observe lands in the registry's stage counters
+// (MetricStageItems, MetricStageDurationNS), so a /metrics scrape and the
+// StageStat snapshot read the same backing store.
 package pipeline
 
 import (
@@ -11,6 +16,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"patchdb/internal/telemetry"
 )
 
 // Stage identifies one phase of the construction pipeline.
@@ -30,6 +37,14 @@ const (
 	StageAugment Stage = "augment"
 	// StageSynthesize covers source-level oversampling.
 	StageSynthesize Stage = "synthesize"
+)
+
+// The registry metric families Metrics writes stage accounting into. The
+// stage name rides in a "stage" label. Durations are stored in integral
+// nanoseconds so accumulated values survive the float64 counter exactly.
+const (
+	MetricStageItems      = "patchdb_stage_items_total"
+	MetricStageDurationNS = "patchdb_stage_duration_nanoseconds_total"
 )
 
 // stageOrder fixes the rendering order of known stages; unknown stages sort
@@ -93,11 +108,34 @@ type StageStat struct {
 	Items int
 }
 
-// Metrics accumulates per-stage timings and counters. The zero value is
-// ready to use; a nil *Metrics ignores all observations.
+// Metrics accumulates per-stage timings and counters, backed by a
+// telemetry.Registry. The zero value is ready to use (it lazily creates a
+// private registry); NewMetrics binds to a shared registry so stage
+// counters show up on that registry's /metrics endpoint. A nil *Metrics
+// ignores all observations.
 type Metrics struct {
-	mu     sync.Mutex
-	stages map[Stage]*StageStat
+	mu  sync.Mutex
+	reg *telemetry.Registry
+}
+
+// NewMetrics creates a Metrics writing into reg (nil reg behaves like the
+// zero value: a private registry).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{reg: reg}
+}
+
+// Registry returns the backing registry, creating a private one on first
+// use of a zero-value Metrics.
+func (m *Metrics) Registry() *telemetry.Registry {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.reg == nil {
+		m.reg = telemetry.NewRegistry()
+	}
+	return m.reg
 }
 
 // Observe adds elapsed time and an item count to a stage.
@@ -105,18 +143,10 @@ func (m *Metrics) Observe(stage Stage, d time.Duration, items int) {
 	if m == nil {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.stages == nil {
-		m.stages = make(map[Stage]*StageStat)
-	}
-	st, ok := m.stages[stage]
-	if !ok {
-		st = &StageStat{Stage: stage}
-		m.stages[stage] = st
-	}
-	st.Duration += d
-	st.Items += items
+	reg := m.Registry()
+	label := telemetry.L("stage", string(stage))
+	reg.Counter(MetricStageItems, label).Add(float64(items))
+	reg.Counter(MetricStageDurationNS, label).Add(float64(d.Nanoseconds()))
 }
 
 // Timer starts timing a stage; the returned stop function records the
@@ -132,17 +162,39 @@ func (m *Metrics) Timer(stage Stage) func(items int) {
 	}
 }
 
-// Snapshot returns the accumulated stats in pipeline order.
+// Snapshot returns the accumulated stats in pipeline order, read back from
+// the backing registry's stage counters.
 func (m *Metrics) Snapshot() []StageStat {
 	if m == nil {
 		return nil
 	}
-	m.mu.Lock()
-	out := make([]StageStat, 0, len(m.stages))
-	for _, st := range m.stages {
+	byStage := make(map[Stage]*StageStat)
+	for _, p := range m.Registry().Snapshot() {
+		if p.Name != MetricStageItems && p.Name != MetricStageDurationNS {
+			continue
+		}
+		var stage Stage
+		for _, l := range p.Labels {
+			if l.Key == "stage" {
+				stage = Stage(l.Value)
+			}
+		}
+		st, ok := byStage[stage]
+		if !ok {
+			st = &StageStat{Stage: stage}
+			byStage[stage] = st
+		}
+		switch p.Name {
+		case MetricStageItems:
+			st.Items = int(p.Value)
+		case MetricStageDurationNS:
+			st.Duration = time.Duration(int64(p.Value))
+		}
+	}
+	out := make([]StageStat, 0, len(byStage))
+	for _, st := range byStage {
 		out = append(out, *st)
 	}
-	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		oi, iKnown := stageOrder[out[i].Stage]
 		oj, jKnown := stageOrder[out[j].Stage]
@@ -166,19 +218,42 @@ func (m *Metrics) String() string {
 }
 
 // FormatStats renders stage stats as an aligned table, one stage per line.
+// Column widths are computed from the data (with floors matching the
+// historical layout), so stage names longer than the default width no
+// longer break the alignment.
 func FormatStats(stats []StageStat) string {
 	if len(stats) == 0 {
 		return "(no stage metrics)"
 	}
-	var b strings.Builder
+	nameW, itemsW, durW := 12, 8, 10
+	type row struct {
+		name, items, dur, rate string
+	}
+	rows := make([]row, 0, len(stats))
 	for _, st := range stats {
-		rate := ""
+		r := row{
+			name:  string(st.Stage),
+			items: fmt.Sprint(st.Items),
+			dur:   st.Duration.Round(time.Millisecond).String(),
+		}
 		if st.Items > 0 && st.Duration > 0 {
 			perSec := float64(st.Items) / st.Duration.Seconds()
-			rate = fmt.Sprintf("  (%.0f items/s)", perSec)
+			r.rate = fmt.Sprintf("  (%.0f items/s)", perSec)
 		}
-		fmt.Fprintf(&b, "%-12s %8d items  %10s%s\n",
-			st.Stage, st.Items, st.Duration.Round(time.Millisecond), rate)
+		if len(r.name) > nameW {
+			nameW = len(r.name)
+		}
+		if len(r.items) > itemsW {
+			itemsW = len(r.items)
+		}
+		if len(r.dur) > durW {
+			durW = len(r.dur)
+		}
+		rows = append(rows, r)
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s %*s items  %*s%s\n", nameW, r.name, itemsW, r.items, durW, r.dur, r.rate)
 	}
 	return strings.TrimRight(b.String(), "\n")
 }

@@ -3,6 +3,8 @@ package retry
 import (
 	"sync"
 	"time"
+
+	"patchdb/internal/telemetry"
 )
 
 // BreakerState is the circuit breaker's admission mode.
@@ -43,6 +45,9 @@ type BreakerConfig struct {
 	Cooldown time.Duration
 	// Clock replaces time.Now (tests).
 	Clock func() time.Time
+	// Registry, when non-nil, receives trip and rejection counters
+	// (MetricBreakerTrips, MetricBreakerRejections).
+	Registry *telemetry.Registry
 }
 
 // Breaker is a shared circuit breaker: after FailureThreshold consecutive
@@ -88,6 +93,7 @@ func (b *Breaker) Allow() (release func(failed bool), wait time.Duration) {
 		return b.releaseFunc(false), 0
 	case Open:
 		if now.Before(b.openedUntil) {
+			b.cfg.Registry.Counter(MetricBreakerRejections).Inc()
 			return nil, b.openedUntil.Sub(now)
 		}
 		b.state = HalfOpen
@@ -98,6 +104,7 @@ func (b *Breaker) Allow() (release func(failed bool), wait time.Duration) {
 			b.probing = true
 			return b.releaseFunc(true), 0
 		}
+		b.cfg.Registry.Counter(MetricBreakerRejections).Inc()
 		return nil, b.probeWait()
 	}
 }
@@ -142,6 +149,7 @@ func (b *Breaker) trip() {
 	b.openedUntil = b.cfg.Clock().Add(b.cfg.Cooldown)
 	b.probing = false
 	b.trips++
+	b.cfg.Registry.Counter(MetricBreakerTrips).Inc()
 }
 
 // State returns the current admission mode (refreshing an expired Open to

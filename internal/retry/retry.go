@@ -19,6 +19,27 @@ import (
 	"hash/fnv"
 	"math"
 	"time"
+
+	"patchdb/internal/telemetry"
+)
+
+// The registry metric families the retry layer emits when a Policy or
+// Breaker carries a telemetry registry.
+const (
+	// MetricAttempts counts every attempt made under a policy (first tries
+	// included).
+	MetricAttempts = "retry_attempts_total"
+	// MetricRetries counts scheduled retries (attempts beyond the first).
+	MetricRetries = "retry_retries_total"
+	// MetricAttemptSeconds is the per-attempt latency histogram.
+	MetricAttemptSeconds = "retry_attempt_seconds"
+	// MetricBackoffSeconds is the histogram of computed backoff delays.
+	MetricBackoffSeconds = "retry_backoff_seconds"
+	// MetricBreakerTrips counts closed-to-open breaker transitions.
+	MetricBreakerTrips = "breaker_trips_total"
+	// MetricBreakerRejections counts attempts the breaker turned away (the
+	// caller waits and re-enters, so rejections delay rather than fail).
+	MetricBreakerRejections = "breaker_rejections_total"
 )
 
 // Policy shapes how an operation is retried. The zero value is usable:
@@ -49,6 +70,10 @@ type Policy struct {
 	Sleep func(ctx context.Context, d time.Duration) error
 	// OnRetry, when non-nil, observes each scheduled retry.
 	OnRetry func(key string, attempt int, err error, delay time.Duration)
+	// Registry, when non-nil, receives attempt/retry counters and latency
+	// and backoff histograms (MetricAttempts, MetricRetries,
+	// MetricAttemptSeconds, MetricBackoffSeconds).
+	Registry *telemetry.Registry
 }
 
 // Do runs fn under the policy until it succeeds, returns a permanent error,
@@ -64,7 +89,10 @@ func (p Policy) Do(ctx context.Context, key string, fn func(context.Context) err
 		if gateErr != nil {
 			return attempt - 1, gateErr
 		}
+		p.Registry.Counter(MetricAttempts).Inc()
+		attemptStart := time.Now()
 		err = fn(ctx)
+		p.Registry.Histogram(MetricAttemptSeconds, nil).Observe(time.Since(attemptStart).Seconds())
 		if release != nil {
 			release(err != nil)
 		}
@@ -78,6 +106,8 @@ func (p Policy) Do(ctx context.Context, key string, fn func(context.Context) err
 		if hint, ok := RetryAfterHint(err); ok && hint > delay {
 			delay = hint
 		}
+		p.Registry.Counter(MetricRetries).Inc()
+		p.Registry.Histogram(MetricBackoffSeconds, nil).Observe(delay.Seconds())
 		if p.OnRetry != nil {
 			p.OnRetry(key, attempt, err, delay)
 		}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines — mixing
+// get-or-create lookups with updates — and checks the totals. Run under
+// -race this doubles as the data-race proof for the whole registry.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				reg.Counter("shared_total").Inc()
+				reg.Counter("labeled_total", L("worker", fmt.Sprint(g%4))).Inc()
+				reg.Gauge("level").Set(float64(i))
+				reg.Histogram("lat_seconds", nil).Observe(float64(i) / perG)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("shared_total").Value(); got != goroutines*perG {
+		t.Errorf("shared_total = %v, want %d", got, goroutines*perG)
+	}
+	var labeled float64
+	for g := 0; g < 4; g++ {
+		labeled += reg.Counter("labeled_total", L("worker", fmt.Sprint(g))).Value()
+	}
+	if labeled != goroutines*perG {
+		t.Errorf("labeled_total sum = %v, want %d", labeled, goroutines*perG)
+	}
+	h := reg.Histogram("lat_seconds", nil).Snapshot()
+	if h.Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count, goroutines*perG)
+	}
+}
+
+func TestCounterIgnoresInvalid(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)         // counters are monotonic; negative adds are dropped
+	c.Add(math.NaN()) // NaN would poison the accumulator forever
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value() = %v, want 5", got)
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var reg *Registry
+	// None of these may panic; all return usable nil handles.
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(1)
+	reg.Histogram("z", nil).Observe(1)
+	if reg.Counter("x").Value() != 0 || reg.Gauge("y").Value() != 0 {
+		t.Error("nil metric values should read 0")
+	}
+	if pts := reg.Snapshot(); pts != nil {
+		t.Errorf("nil registry Snapshot = %v, want nil", pts)
+	}
+	var tr *Tracer
+	_, sp := tr.Start(nil, "noop")
+	sp.SetAttr("k", "v")
+	sp.End()
+}
+
+// TestHistogramBucketBoundaries pins the le (less-or-equal) semantics: an
+// observation exactly on a bound lands in that bound's bucket, one just
+// above lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("b_seconds", []float64{1, 2, 4})
+
+	h.Observe(0.5) // bucket le=1
+	h.Observe(1)   // bucket le=1: boundary is inclusive
+	h.Observe(1.5) // bucket le=2
+	h.Observe(2)   // bucket le=2
+	h.Observe(4)   // bucket le=4
+	h.Observe(4.1) // +Inf overflow
+	h.Observe(100) // +Inf overflow
+
+	s := h.Snapshot()
+	wantCounts := []uint64{2, 2, 1, 2}
+	if len(s.Counts) != len(wantCounts) {
+		t.Fatalf("len(Counts) = %d, want %d (len(bounds)+1)", len(s.Counts), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if s.Counts[i] != want {
+			t.Errorf("Counts[%d] = %d, want %d", i, s.Counts[i], want)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("Count = %d, want 7", s.Count)
+	}
+	if want := 0.5 + 1 + 1.5 + 2 + 4 + 4.1 + 100; s.Sum != want {
+		t.Errorf("Sum = %v, want %v", s.Sum, want)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-increasing bounds")
+		}
+	}()
+	NewRegistry().Histogram("bad", []float64{1, 1, 2})
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dual")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic re-registering a counter as a gauge")
+		}
+	}()
+	reg.Gauge("dual")
+}
+
+// TestSnapshotDeterministic checks that two snapshots of the same state are
+// identical and ordered by family name then label set — the property the
+// RunReport determinism contract leans on.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *Registry {
+		reg := NewRegistry()
+		// Registration order differs from sorted order on purpose.
+		reg.Counter("z_total", L("stage", "search")).Add(3)
+		reg.Counter("a_total").Add(1)
+		reg.Counter("z_total", L("stage", "crawl")).Add(2)
+		reg.Gauge("m_level").Set(7)
+		return reg
+	}
+	a, b := build().Snapshot(), build().Snapshot()
+	if len(a) != 4 {
+		t.Fatalf("snapshot has %d points, want 4", len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Value != b[i].Value {
+			t.Errorf("snapshots diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	wantOrder := []string{"a_total", "m_level", "z_total", "z_total"}
+	for i, name := range wantOrder {
+		if a[i].Name != name {
+			t.Errorf("point %d name = %s, want %s", i, a[i].Name, name)
+		}
+	}
+	if a[2].Labels[0].Value != "crawl" || a[3].Labels[0].Value != "search" {
+		t.Errorf("label order not deterministic: %v then %v", a[2].Labels, a[3].Labels)
+	}
+}
+
+// TestCounterDurationNanosExact guards the convention of storing durations
+// as integral nanoseconds in float64 counters: sums must round-trip exactly
+// (10ms + 5ms must equal 15ms, which plain float seconds cannot guarantee).
+func TestCounterDurationNanosExact(t *testing.T) {
+	var c Counter
+	c.Add(10e6) // 10ms in ns
+	c.Add(5e6)  // 5ms in ns
+	if got := int64(c.Value()); got != 15e6 {
+		t.Errorf("duration ns sum = %d, want %d", got, int64(15e6))
+	}
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DefaultRunReportPath is the conventional RunReport output filename (the
+// path the CLIs document and .gitignore covers).
+const DefaultRunReportPath = "patchdb-run-report.json"
+
+// StageReport is one pipeline stage's accounting inside a RunReport.
+type StageReport struct {
+	Stage      string `json:"stage"`
+	DurationNS int64  `json:"duration_ns"`
+	Items      int    `json:"items"`
+}
+
+// CrawlReport summarizes the crawl layer inside a RunReport: feed
+// accounting, retry and circuit-breaker activity, quarantine size, and the
+// degradation verdict.
+type CrawlReport struct {
+	Entries         int  `json:"entries"`
+	WithPatchRefs   int  `json:"with_patch_refs"`
+	Downloaded      int  `json:"downloaded"`
+	EmptyAfterClean int  `json:"empty_after_clean"`
+	Retries         int  `json:"retries"`
+	Quarantined     int  `json:"quarantined"`
+	BreakerTrips    int  `json:"breaker_trips"`
+	Degraded        bool `json:"degraded"`
+}
+
+// SearchReport aggregates the nearest-link engine counters inside a
+// RunReport.
+type SearchReport struct {
+	Searches       int     `json:"searches"`
+	DistanceEvals  int64   `json:"distance_evals"`
+	NormPruned     int64   `json:"norm_pruned"`
+	EarlyExited    int64   `json:"early_exited"`
+	PrunedFraction float64 `json:"pruned_fraction"`
+	HeapPops       int     `json:"heap_pops"`
+	SecondBestHits int     `json:"second_best_hits"`
+	Rescans        int     `json:"rescans"`
+	DurationNS     int64   `json:"duration_ns"`
+}
+
+// RunReport is the structured end-of-run artifact: per-stage timings,
+// crawl and nearest-link accounting, the full metrics-registry snapshot,
+// and the buffered trace spans, merged into one JSON document.
+type RunReport struct {
+	// Tool names the producer (e.g. "patchdb-build").
+	Tool   string        `json:"tool"`
+	Stages []StageReport `json:"stages"`
+	Crawl  *CrawlReport  `json:"crawl,omitempty"`
+	Search *SearchReport `json:"search,omitempty"`
+	// Metrics is the deterministic registry snapshot at the end of the run.
+	Metrics []MetricPoint `json:"metrics"`
+	// Spans is the trace buffer at the end of the run, parents before
+	// children.
+	Spans []SpanRecord `json:"spans,omitempty"`
+}
+
+// NewRunReport seeds a report with hub state (registry snapshot + span
+// buffer). A nil hub yields an empty report shell.
+func NewRunReport(tool string, hub *Hub) *RunReport {
+	rr := &RunReport{Tool: tool}
+	if hub != nil {
+		rr.Metrics = hub.Registry.Snapshot()
+		rr.Spans = hub.Tracer.Snapshot()
+	}
+	return rr
+}
+
+// JSON renders the report as indented JSON.
+func (r *RunReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteFile writes the report as indented JSON via a same-directory temp
+// file and rename, so readers never observe a half-written report.
+func (r *RunReport) WriteFile(path string) error {
+	data, err := r.JSON()
+	if err != nil {
+		return fmt.Errorf("telemetry: encode run report: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".run-report-*.json")
+	if err != nil {
+		return fmt.Errorf("telemetry: write run report: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("telemetry: write run report: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("telemetry: write run report: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("telemetry: write run report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunReportWriteFile(t *testing.T) {
+	hub := NewHub()
+	hub.Registry.Counter("items_total").Add(7)
+	_, sp := hub.Tracer.Start(context.Background(), "stage")
+	sp.End()
+
+	rr := NewRunReport("test-tool", hub)
+	rr.Stages = append(rr.Stages, StageReport{Stage: "extract", DurationNS: 1e6, Items: 7})
+	rr.Crawl = &CrawlReport{Entries: 10, Downloaded: 9, Retries: 2}
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := rr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Tool != "test-tool" {
+		t.Errorf("Tool = %q, want test-tool", back.Tool)
+	}
+	if len(back.Stages) != 1 || back.Stages[0].Stage != "extract" || back.Stages[0].Items != 7 {
+		t.Errorf("Stages round-trip = %+v", back.Stages)
+	}
+	if back.Crawl == nil || back.Crawl.Retries != 2 {
+		t.Errorf("Crawl round-trip = %+v", back.Crawl)
+	}
+	if len(back.Metrics) != 1 || back.Metrics[0].Name != "items_total" || back.Metrics[0].Value != 7 {
+		t.Errorf("Metrics round-trip = %+v", back.Metrics)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Name != "stage" {
+		t.Errorf("Spans round-trip = %+v", back.Spans)
+	}
+}
+
+func TestNewRunReportNilHub(t *testing.T) {
+	rr := NewRunReport("shell", nil)
+	if rr.Tool != "shell" || rr.Metrics != nil || rr.Spans != nil {
+		t.Errorf("nil-hub report = %+v, want empty shell", rr)
+	}
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteProm renders the registry's current state in the Prometheus text
+// exposition format (version 0.0.4): a # TYPE line per metric family, then
+// one sample line per instance, deterministically ordered.
+func WriteProm(w io.Writer, r *Registry) error {
+	points := r.Snapshot()
+	lastFamily := ""
+	for _, p := range points {
+		if p.Name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind); err != nil {
+				return err
+			}
+			lastFamily = p.Name
+		}
+		var err error
+		switch p.Kind {
+		case KindHistogram:
+			err = writePromHistogram(w, p)
+		default:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", p.Name, promLabels(p.Labels, "", 0), promFloat(p.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits cumulative _bucket series plus _sum and _count.
+func writePromHistogram(w io.Writer, p MetricPoint) error {
+	h := p.Histogram
+	cum := uint64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, "le", b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Counts[len(h.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, "le", math.Inf(1)), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", p.Name, promLabels(p.Labels, "", 0), promFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, promLabels(p.Labels, "", 0), h.Count)
+	return err
+}
+
+// promLabels renders a label set (plus an optional trailing le bound) as
+// {k="v",...}, or "" when empty.
+func promLabels(labels []Label, le string, bound float64) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", le, promFloat(bound))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects (+Inf, not +inf).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MetricsHandler serves the hub's registry in Prometheus text format.
+func (h *Hub) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var reg *Registry
+		if h != nil {
+			reg = h.Registry
+		}
+		if err := WriteProm(w, reg); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Server is a running telemetry endpoint (see Serve).
+type Server struct {
+	// URL is the server's base address, e.g. http://127.0.0.1:9090.
+	URL string
+
+	srv      *http.Server
+	done     chan struct{}
+	serveErr error
+}
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the hub's
+// /metrics plus the /debug/pprof profiling endpoints until Close. A nil hub
+// serves the process-wide Default hub.
+func Serve(addr string, hub *Hub) (*Server, error) {
+	if hub == nil {
+		hub = Default()
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", hub.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		URL:  "http://" + ln.Addr().String(),
+		srv:  &http.Server{Handler: mux},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Surfaced by Close: the serve goroutine has no other channel
+			// back to the caller.
+			s.serveErr = fmt.Errorf("telemetry: serve: %w", err)
+		}
+	}()
+	return s, nil
+}
+
+// Close shuts the server down, waits for the serve goroutine, and returns
+// the first serve error if one occurred.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutdownErr := s.srv.Shutdown(ctx)
+	<-s.done
+	if s.serveErr != nil {
+		return s.serveErr
+	}
+	return shutdownErr
+}

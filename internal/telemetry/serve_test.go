@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden fixes the exact Prometheus text exposition for a known
+// registry state: one TYPE line per family, deterministic ordering,
+// cumulative histogram buckets with a trailing +Inf, and _sum/_count.
+func TestWritePromGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("patchdb_stage_items_total", L("stage", "extract")).Add(120)
+	reg.Counter("patchdb_stage_items_total", L("stage", "crawl")).Add(40)
+	reg.Gauge("build_workers").Set(8)
+	h := reg.Histogram("fetch_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := WriteProm(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE build_workers gauge
+build_workers 8
+# TYPE fetch_seconds histogram
+fetch_seconds_bucket{le="0.1"} 2
+fetch_seconds_bucket{le="1"} 3
+fetch_seconds_bucket{le="+Inf"} 4
+fetch_seconds_sum 3.6
+fetch_seconds_count 4
+# TYPE patchdb_stage_items_total counter
+patchdb_stage_items_total{stage="crawl"} 40
+patchdb_stage_items_total{stage="extract"} 120
+`
+	if got := sb.String(); got != want {
+		t.Errorf("prometheus text mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	hub := NewHub()
+	hub.Registry.Counter("reqs_total").Add(3)
+
+	srv := httptest.NewServer(hub.MetricsHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	if want := "reqs_total 3\n"; !strings.Contains(string(body), want) {
+		t.Errorf("body missing %q:\n%s", want, body)
+	}
+}
+
+// TestServe exercises the full Serve/Close lifecycle on an ephemeral port:
+// /metrics serves the hub and /debug/pprof/ responds.
+func TestServe(t *testing.T) {
+	hub := NewHub()
+	hub.Registry.Counter("live_total").Inc()
+
+	srv, err := Serve("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, path := range []string{"/metrics", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "live_total 1") {
+			t.Errorf("GET %s missing counter:\n%s", path, body)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}

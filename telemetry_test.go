@@ -1,0 +1,272 @@
+package patchdb
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"patchdb/internal/telemetry"
+)
+
+// telemetryTestConfig is a small but full-featured build: crawl, two pools,
+// augmentation rounds, and synthesis, so every pipeline stage appears in the
+// run report.
+func telemetryTestConfig() BuilderConfig {
+	return BuilderConfig{
+		Seed:              11,
+		NVDSize:           40,
+		NonSecuritySize:   80,
+		WildPools:         []int{400},
+		RoundsPerPool:     []int{2},
+		SyntheticPerPatch: 2,
+	}
+}
+
+// TestBuildRunReport asserts the acceptance shape of the tentpole: a build
+// with -telemetry-out semantics produces a RunReport JSON containing every
+// pipeline stage, crawl accounting, nearest-link counters, a metrics
+// snapshot, and a span tree.
+func TestBuildRunReport(t *testing.T) {
+	cfg := telemetryTestConfig()
+	cfg.Telemetry = NewTelemetryHub()
+	cfg.TelemetryOut = filepath.Join(t.TempDir(), "run-report.json")
+
+	_, report, err := Build(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Run == nil {
+		t.Fatal("report.Run is nil")
+	}
+
+	data, err := os.ReadFile(cfg.TelemetryOut)
+	if err != nil {
+		t.Fatalf("run report file not written: %v", err)
+	}
+	var rr RunReport
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatalf("run report is not valid JSON: %v", err)
+	}
+	if rr.Tool != "patchdb.Build" {
+		t.Errorf("Tool = %q", rr.Tool)
+	}
+
+	// Every pipeline stage must appear with a positive duration.
+	gotStages := map[string]RunReportStage{}
+	for _, st := range rr.Stages {
+		gotStages[st.Stage] = st
+	}
+	for _, want := range []Stage{StageCrawl, StageExtract, StageSearch, StageAugment, StageSynthesize} {
+		st, ok := gotStages[string(want)]
+		if !ok {
+			t.Errorf("run report missing stage %q (have %v)", want, rr.Stages)
+			continue
+		}
+		if st.DurationNS <= 0 {
+			t.Errorf("stage %q has non-positive duration %d", want, st.DurationNS)
+		}
+	}
+
+	// Crawl and search sections must reflect real work.
+	if rr.Crawl == nil || rr.Crawl.Entries == 0 || rr.Crawl.Downloaded == 0 {
+		t.Errorf("crawl section = %+v", rr.Crawl)
+	}
+	if rr.Search == nil || rr.Search.Searches == 0 || rr.Search.DistanceEvals == 0 {
+		t.Errorf("search section = %+v", rr.Search)
+	}
+
+	// The metrics snapshot must include the instrumented families.
+	families := map[string]bool{}
+	for _, p := range rr.Metrics {
+		families[p.Name] = true
+	}
+	for _, want := range []string{
+		"patchdb_stage_items_total",
+		"patchdb_stage_duration_nanoseconds_total",
+		"crawl_downloads_total",
+		"nearestlink_searches_total",
+		"nearestlink_distance_evals_total",
+		"retry_attempts_total",
+	} {
+		if !families[want] {
+			t.Errorf("metrics snapshot missing family %q", want)
+		}
+	}
+
+	// Spans: a build root span with the crawl span parented under it.
+	var buildSpan, crawlSpan *telemetry.SpanRecord
+	for i := range rr.Spans {
+		switch rr.Spans[i].Name {
+		case "build":
+			buildSpan = &rr.Spans[i]
+		case "nvd.crawl":
+			crawlSpan = &rr.Spans[i]
+		}
+	}
+	if buildSpan == nil || crawlSpan == nil {
+		t.Fatalf("spans missing build/nvd.crawl: %+v", rr.Spans)
+	}
+	if crawlSpan.Parent != buildSpan.ID {
+		t.Errorf("nvd.crawl parent = %d, want build span id %d", crawlSpan.Parent, buildSpan.ID)
+	}
+}
+
+// timingMetric reports whether a metric family carries wall-clock-derived
+// values (durations, latency histograms) or other timing-dependent counts
+// (circuit-breaker activity); those are legitimately worker-count dependent
+// and excluded from the determinism contract.
+func timingMetric(name string) bool {
+	return strings.Contains(name, "duration") ||
+		strings.Contains(name, "seconds") ||
+		strings.Contains(name, "breaker")
+}
+
+// TestBuildTelemetryDeterministicAcrossWorkers is the acceptance check: on a
+// fault-free build, every counter-valued metric and every crawl/search count
+// in the run report is identical between a serial and a parallel build.
+func TestBuildTelemetryDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *RunReport {
+		t.Helper()
+		cfg := telemetryTestConfig()
+		cfg.Workers = workers
+		cfg.Telemetry = NewTelemetryHub()
+		_, report, err := Build(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return report.Run
+	}
+	counters := func(rr *RunReport) map[string]float64 {
+		out := map[string]float64{}
+		for _, p := range rr.Metrics {
+			if p.Kind != telemetry.KindCounter || timingMetric(p.Name) {
+				continue
+			}
+			id := p.Name
+			for _, l := range p.Labels {
+				id += "{" + l.Key + "=" + l.Value + "}"
+			}
+			out[id] = p.Value
+		}
+		return out
+	}
+
+	rr1, rr8 := run(1), run(8)
+
+	c1, c8 := counters(rr1), counters(rr8)
+	if len(c1) == 0 {
+		t.Fatal("no counter metrics collected")
+	}
+	for id, v := range c1 {
+		if c8[id] != v {
+			t.Errorf("counter %s: workers=1 %v vs workers=8 %v", id, v, c8[id])
+		}
+	}
+	for id := range c8 {
+		if _, ok := c1[id]; !ok {
+			t.Errorf("counter %s only present at workers=8", id)
+		}
+	}
+
+	// Crawl section: all counts must match (timing-dependent breaker trips
+	// cannot occur on a fault-free build, so compare the whole struct).
+	if *rr1.Crawl != *rr8.Crawl {
+		t.Errorf("crawl sections differ:\n  workers=1: %+v\n  workers=8: %+v", *rr1.Crawl, *rr8.Crawl)
+	}
+
+	// Search section: every engine counter must match; only the wall-clock
+	// duration may differ.
+	s1, s8 := *rr1.Search, *rr8.Search
+	s1.DurationNS, s8.DurationNS = 0, 0
+	if s1 != s8 {
+		t.Errorf("search sections differ:\n  workers=1: %+v\n  workers=8: %+v", s1, s8)
+	}
+
+	// Stage item counts (not durations) must also agree.
+	items := func(rr *RunReport) map[string]int {
+		out := map[string]int{}
+		for _, st := range rr.Stages {
+			out[st.Stage] = st.Items
+		}
+		return out
+	}
+	i1, i8 := items(rr1), items(rr8)
+	for stage, n := range i1 {
+		if i8[stage] != n {
+			t.Errorf("stage %q items: workers=1 %d vs workers=8 %d", stage, n, i8[stage])
+		}
+	}
+}
+
+// TestBuildPrivateHubIsolation checks that a Build given no hub creates its
+// own: two concurrent-ish builds must not leak counters into each other or
+// into the process-wide default hub.
+func TestBuildPrivateHubIsolation(t *testing.T) {
+	before := len(DefaultTelemetryHub().Registry.Snapshot())
+
+	cfg := telemetryTestConfig()
+	_, report, err := Build(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Run == nil || len(report.Run.Metrics) == 0 {
+		t.Fatal("build without explicit hub produced no run report metrics")
+	}
+	after := len(DefaultTelemetryHub().Registry.Snapshot())
+	if after != before {
+		t.Errorf("build leaked %d metric families into the default hub", after-before)
+	}
+
+	// Two sequential builds with private hubs must report identical counter
+	// state (no cross-build accumulation).
+	_, report2, err := Build(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range report.Run.Metrics {
+		if timingMetric(p.Name) || p.Kind != telemetry.KindCounter {
+			continue
+		}
+		q := report2.Run.Metrics[i]
+		if p.Name != q.Name || p.Value != q.Value {
+			t.Errorf("metric %d differs across isolated builds: %s=%v vs %s=%v",
+				i, p.Name, p.Value, q.Name, q.Value)
+		}
+	}
+}
+
+// TestServeTelemetryDuringBuild scrapes /metrics after a build published
+// into a served hub — the README quickstart flow.
+func TestServeTelemetryDuringBuild(t *testing.T) {
+	hub := NewTelemetryHub()
+	srv, err := ServeTelemetry("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cfg := telemetryTestConfig()
+	cfg.Telemetry = hub
+	if _, _, err := Build(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := telemetry.WriteProm(&sb, hub.Registry); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"# TYPE patchdb_stage_items_total counter",
+		`patchdb_stage_items_total{stage="crawl"}`,
+		"# TYPE nearestlink_search_seconds histogram",
+		"nearestlink_search_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics output missing %q", want)
+		}
+	}
+}
