@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-nearestlink verify verify-chaos verify-telemetry clean
+.PHONY: build test vet lint race bench bench-nearestlink verify verify-chaos verify-telemetry ci clean
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,19 @@ build:
 test:
 	$(GO) test ./...
 
+# vet is the stock static-analysis pass; its stricter analyzers that matter
+# here (-copylocks, -loopclosure) are on by default in go vet.
 vet:
 	$(GO) vet ./...
+
+# lint runs patchdb's custom analyzer suite (see internal/analysis and
+# cmd/patchdb-lint): determinism (no wall clocks / global rand / ordered map
+# iteration in the deterministic build packages), ctxloop (worker loops
+# honor ctx cancellation), errcanon (errors.Is + %w for canonical errors),
+# and telemetrysafe (nil-guarded *telemetry.Hub field access). Suppress an
+# intentional finding with `//lint:ignore <check> <reason>`.
+lint:
+	$(GO) run ./cmd/patchdb-lint ./...
 
 # Race instrumentation slows the model-training tests ~10x, so the tier
 # needs more than go test's default 10m package timeout.
@@ -38,10 +49,15 @@ verify-chaos:
 verify-telemetry:
 	$(GO) test -race -count=1 ./internal/telemetry/ ./internal/pipeline/
 
-# verify is the full pre-merge tier: static analysis, the fault-injection
+# verify is the full pre-merge tier: verify = vet + lint + chaos +
+# telemetry + race — stock and custom static analysis, the fault-injection
 # and telemetry suites, and the race-enabled test suite (which subsumes the
 # plain test run).
-verify: vet verify-chaos verify-telemetry race
+verify: vet lint verify-chaos verify-telemetry race
+
+# ci is the fast merge gate mirrored by .github/workflows/ci.yml and
+# scripts/ci.sh: build, both static-analysis tiers, and the plain test run.
+ci: build vet lint test
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,126 @@
+// Command patchdb-lint runs patchdb's custom static-analysis suite — the
+// determinism, ctxloop, errcanon, and telemetrysafe analyzers — over the
+// given packages and exits non-zero on findings. It is the machine check
+// behind `make lint` (and therefore `make verify`): the invariants PRs 1-4
+// established by convention fail the build the moment a change regresses
+// them.
+//
+// Usage:
+//
+//	patchdb-lint [-json] [-checks determinism,ctxloop,...] [patterns...]
+//
+// Patterns default to ./... and follow go tool conventions (a directory, or
+// dir/... for a subtree). Findings print as path:line:col: check: message;
+// with -json each finding is one JSON object per line (path, line, col,
+// check, message), consumable the same way as the BENCH_*.json artifacts.
+//
+// A finding is suppressed by an adjacent comment naming the check and a
+// reason:
+//
+//	//lint:ignore determinism engine wall-clock is telemetry-only
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load/type-check failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"patchdb/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("patchdb-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line instead of text")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list the available checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checks != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "patchdb-lint: unknown check %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "patchdb-lint: %v\n", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "patchdb-lint: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "patchdb-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "patchdb-lint: %v\n", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		path := d.Pos.Filename
+		if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+			path = rel
+		}
+		if *jsonOut {
+			line, _ := json.Marshal(struct {
+				Path    string `json:"path"`
+				Line    int    `json:"line"`
+				Col     int    `json:"col"`
+				Check   string `json:"check"`
+				Message string `json:"message"`
+			}{path, d.Pos.Line, d.Pos.Column, d.Check, d.Message})
+			fmt.Fprintln(stdout, string(line))
+		} else {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", path, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "patchdb-lint: %d finding(s) across %d package unit(s)\n", len(diags), len(pkgs))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const goldenErrcanon = "../../internal/analysis/testdata/src/errcanon/a"
+
+func TestListChecks(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errOut.String())
+	}
+	for _, name := range []string{"determinism", "ctxloop", "errcanon", "telemetrysafe"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownCheck(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-checks", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown check") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+// TestTextFindings lints the errcanon golden package and expects findings in
+// path:line:col form and a non-zero exit.
+func TestTextFindings(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-checks", "errcanon", goldenErrcanon}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr = %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("expected several findings, got:\n%s", out.String())
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "errcanon:") || !strings.Contains(line, ".go:") {
+			t.Errorf("malformed finding line %q", line)
+		}
+	}
+}
+
+// TestJSONFindings checks the -json mode: one JSON object per line carrying
+// path, line, col, check, and message.
+func TestJSONFindings(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", "-checks", "errcanon", goldenErrcanon}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr = %s", code, errOut.String())
+	}
+	sc := bufio.NewScanner(&out)
+	n := 0
+	for sc.Scan() {
+		var d struct {
+			Path    string `json:"path"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		if d.Path == "" || d.Line <= 0 || d.Col <= 0 || d.Check != "errcanon" || d.Message == "" {
+			t.Errorf("incomplete diagnostic %+v", d)
+		}
+		n++
+	}
+	if n < 3 {
+		t.Errorf("expected several JSON findings, got %d", n)
+	}
+}
+
+// TestCleanPackageExitsZero lints a package that must be clean (the CLI's
+// own source) and expects exit 0 with no output.
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d; out = %s; stderr = %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no output, got %s", out.String())
+	}
+}

@@ -1,0 +1,240 @@
+// Package analysis is patchdb's stdlib-only static-analysis framework: a
+// module-aware file-set loader with per-package type-checking (load.go), a
+// small analyzer API with position-accurate diagnostics, line-scoped
+// `//lint:ignore <check> <reason>` suppression, and the analyzers that
+// machine-check the repo's construction-hygiene invariants:
+//
+//   - determinism: no wall-clock reads, process-global randomness, or
+//     order-sensitive map iteration in the deterministic build packages
+//   - ctxloop: worker loops in context-aware functions must observe
+//     cancellation on their hot path
+//   - errcanon: canonical errors are matched with errors.Is and wrapped
+//     with %w, never compared or reformatted away
+//   - telemetrysafe: possibly-nil *telemetry.Hub values are guarded before
+//     their fields are dereferenced
+//
+// The cmd/patchdb-lint CLI runs the suite over ./... and exits non-zero on
+// findings, making the invariants part of `make verify`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the check identifier used in output and in lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, CtxLoop, ErrCanon, TelemetrySafe}
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Pkg.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf returns the object an identifier denotes (use or def), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// CalleeFunc resolves a call expression to the package-level function or
+// method it invokes, or nil (indirect calls, conversions, builtins).
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the diagnostic in the conventional path:line:col form. Paths
+// are emitted as stored; Run rewrites them relative to the module root.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// DirectiveCheck names the internal check that validates lint:ignore
+// directives themselves.
+const DirectiveCheck = "lintdirective"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	checks map[string]bool
+	reason string
+}
+
+// matches reports whether the directive suppresses a diagnostic of the given
+// check on the given line of the same file: the directive covers its own
+// line (trailing comment) and the line directly below (comment-above-
+// statement form).
+func (d *ignoreDirective) matches(check string, line int) bool {
+	if !d.checks[check] {
+		return false
+	}
+	return line == d.pos.Line || line == d.pos.Line+1
+}
+
+// parseDirectives extracts lint:ignore directives from a file, reporting
+// malformed ones (missing check list or missing reason) as diagnostics.
+func parseDirectives(fset *token.FileSet, f *ast.File) (dirs []*ignoreDirective, malformed []Diagnostic) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				malformed = append(malformed, Diagnostic{
+					Pos:     pos,
+					Check:   DirectiveCheck,
+					Message: "malformed directive: want //lint:ignore <check>[,<check>] <reason>",
+				})
+				continue
+			}
+			checks := make(map[string]bool)
+			for _, name := range strings.Split(fields[0], ",") {
+				if name != "" {
+					checks[name] = true
+				}
+			}
+			dirs = append(dirs, &ignoreDirective{
+				pos:    pos,
+				checks: checks,
+				reason: strings.Join(fields[1:], " "),
+			})
+		}
+	}
+	return dirs, malformed
+}
+
+// Run executes the analyzers over the packages, applies lint:ignore
+// suppression, and returns the surviving diagnostics sorted by position.
+// Malformed directives are themselves reported under the "lintdirective"
+// check (and cannot be suppressed).
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	var malformed []Diagnostic
+	directives := make(map[string][]*ignoreDirective) // filename -> directives
+	seenFile := make(map[string]bool)
+
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if seenFile[name] {
+				continue
+			}
+			seenFile[name] = true
+			dirs, bad := parseDirectives(pkg.Fset, f)
+			directives[name] = append(directives[name], dirs...)
+			malformed = append(malformed, bad...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			a.Run(pass)
+		}
+	}
+
+	var out []Diagnostic
+	seen := make(map[string]bool)
+	for _, d := range raw {
+		suppressed := false
+		for _, dir := range directives[d.Pos.Filename] {
+			if dir.matches(d.Check, d.Pos.Line) {
+				suppressed = true
+				break
+			}
+		}
+		if suppressed {
+			continue
+		}
+		key := d.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	for _, d := range malformed {
+		key := d.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}

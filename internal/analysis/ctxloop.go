@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop enforces the cancellation contract: inside a function that takes
+// (or closes over) a context.Context, loops that can spin for an unbounded
+// number of iterations — `for {}`, while-style `for cond {}`, and worker
+// loops ranging over a channel — must observe the context on their hot path
+// via ctx.Done() or ctx.Err(). Counted and slice/map-range loops are
+// considered bounded and exempt; the builder cancels those at their
+// enclosing stage boundaries.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "unbounded loops in context-aware functions must check ctx.Done()/ctx.Err()",
+	Run:  runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxScope(pass, fd.Body, funcHasCtxParam(pass, fd))
+		}
+	}
+}
+
+// checkCtxScope walks a function body. inCtx records whether a
+// context.Context parameter is lexically in scope (from this function or an
+// enclosing one — function literals capture their parent's context).
+func checkCtxScope(pass *Pass, body *ast.BlockStmt, inCtx bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkCtxScope(pass, n.Body, inCtx || funcLitHasCtxParam(pass, n))
+			return false
+		case *ast.ForStmt:
+			if inCtx && unboundedFor(n) && !checksCtx(pass, n) {
+				pass.Reportf(n.For, "unbounded loop in context-aware function never checks ctx.Done()/ctx.Err(); cancellation would be ignored here")
+			}
+		case *ast.RangeStmt:
+			if inCtx && rangesOverChannel(pass, n) && !checksCtx(pass, n) {
+				pass.Reportf(n.For, "channel-range worker loop never checks ctx.Done()/ctx.Err(); cancellation would be ignored here")
+			}
+		}
+		return true
+	})
+}
+
+// unboundedFor reports whether a for statement is infinite (`for {}`, or
+// cond-less with init/post) or while-style (`for cond {}`).
+func unboundedFor(n *ast.ForStmt) bool {
+	if n.Cond == nil {
+		return true
+	}
+	return n.Init == nil && n.Post == nil
+}
+
+func rangesOverChannel(pass *Pass, n *ast.RangeStmt) bool {
+	t := pass.TypeOf(n.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// checksCtx reports whether the loop (condition or body, including select
+// cases) contains a Done() or Err() call on a context.Context value, or a
+// receive from one's Done channel.
+func checksCtx(pass *Pass, loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Done" && sel.Sel.Name != "Err" {
+			return true
+		}
+		if isContextType(pass.TypeOf(sel.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context (or an alias of it).
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// funcHasCtxParam reports whether fd declares a context.Context parameter.
+func funcHasCtxParam(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	return fieldsHaveCtx(pass, fd.Type.Params.List)
+}
+
+func funcLitHasCtxParam(pass *Pass, fl *ast.FuncLit) bool {
+	if fl.Type.Params == nil {
+		return false
+	}
+	return fieldsHaveCtx(pass, fl.Type.Params.List)
+}
+
+func fieldsHaveCtx(pass *Pass, fields []*ast.Field) bool {
+	for _, f := range fields {
+		if isContextType(pass.TypeOf(f.Type)) {
+			return true
+		}
+	}
+	return false
+}

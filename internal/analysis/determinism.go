@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// deterministicPath reports whether an import path belongs to the packages
+// whose output must be a pure function of the configured seed: the builder's
+// root package, the core engines, and the pipeline/crawl/corpus layers. The
+// ML and experiments layers consume explicit seeds but are not build-output
+// paths, and cmd/ binaries legitimately read wall clocks for reporting.
+func deterministicPath(path string) bool {
+	switch path {
+	case "patchdb",
+		"patchdb/internal/core",
+		"patchdb/internal/pipeline",
+		"patchdb/internal/nvd",
+		"patchdb/internal/corpus":
+		return true
+	}
+	return strings.HasPrefix(path, "patchdb/internal/core/")
+}
+
+// globalRandConstructors are the math/rand package functions that build
+// explicitly seeded generators — the sanctioned way to get randomness.
+var globalRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Determinism enforces the seed-purity contract of the build packages: no
+// wall-clock reads (time.Now / time.Since), no process-global math/rand
+// calls (their shared source is seeded from the clock), and no map-range
+// loops that feed ordered output without a sort. Test files are exempt —
+// the contract covers what ships in a build, and benchmarks time themselves
+// by design.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "wall clocks, global randomness, and ordered map iteration are banned in deterministic build packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !deterministicPath(pass.Pkg.ImportPath) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterministicCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, stack)
+			}
+			return true
+		})
+	}
+}
+
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on an explicitly seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(),
+				"wall-clock read time.%s in deterministic build path; inject a clock or keep timing in telemetry-only state", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !globalRandConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"process-global rand.%s uses the shared clock-seeded source; use a rand.New(rand.NewSource(seed)) owned by the caller", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for ... := range m` over a map when the loop body
+// feeds ordered output: appending to a slice declared outside the loop that
+// is never sorted afterwards in the same function, or writing directly to a
+// writer/printer. Map iteration order changes run to run, so both leak
+// nondeterminism into build output.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	fnBody := enclosingFuncBody(stack)
+
+	var appendTargets []*ast.Ident
+	directWrite := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// target = append(target, ...) with target declared outside the loop.
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(n.Lhs) <= i {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" {
+					continue
+				}
+				if obj := pass.ObjectOf(id); obj != nil {
+					if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+						continue // a local function shadowing append
+					}
+				}
+				lhs, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(lhs)
+				if obj == nil || withinNode(rng, obj.Pos()) {
+					continue
+				}
+				appendTargets = append(appendTargets, lhs)
+			}
+		case *ast.CallExpr:
+			if isOrderedWrite(pass, n) {
+				directWrite = true
+			}
+		}
+		return true
+	})
+
+	if directWrite {
+		pass.Reportf(rng.For, "map iteration order feeds output directly; collect and sort the keys first")
+		return
+	}
+	for _, target := range appendTargets {
+		if fnBody != nil && sortedAfter(pass, fnBody, target, rng.End()) {
+			continue
+		}
+		pass.Reportf(rng.For, "map iteration order feeds %q without a sort; sort the keys (or the result) before it is consumed", target.Name)
+		return // one finding per loop is enough
+	}
+}
+
+// isOrderedWrite reports whether call emits bytes whose order is observable:
+// fmt printing to a writer/stdout, or Write* methods on builders/buffers.
+func isOrderedWrite(pass *Pass, call *ast.CallExpr) bool {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Print") {
+		return true
+	}
+	if fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil && strings.HasPrefix(fn.Name(), "Write") {
+		switch types.TypeString(sig.Recv().Type(), nil) {
+		case "*strings.Builder", "*bytes.Buffer":
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether target is passed to a sort.* / slices.* call
+// after pos within body — the canonical collect-then-sort idiom.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, target *ast.Ident, pos token.Pos) bool {
+	obj := pass.ObjectOf(target)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					mentioned = true
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal on the node stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	bodies := enclosingFuncBodies(stack)
+	if len(bodies) == 0 {
+		return nil
+	}
+	return bodies[0]
+}
+
+// enclosingFuncBodies returns the bodies of all function declarations and
+// literals on the node stack, innermost first.
+func enclosingFuncBodies(stack []ast.Node) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			bodies = append(bodies, fn.Body)
+		case *ast.FuncLit:
+			bodies = append(bodies, fn.Body)
+		}
+	}
+	return bodies
+}
+
+// withinNode reports whether pos falls inside n's source range.
+func withinNode(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}

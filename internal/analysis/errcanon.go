@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrCanon enforces the canonical-error contract everywhere in the module:
+// sentinel errors (package-level `ErrFoo` variables, io.EOF, ...) are
+// matched with errors.Is — never `==`/`!=` or a switch, which wrapped
+// errors silently fail — and fmt.Errorf keeps chains matchable by wrapping
+// error operands with %w instead of flattening them through %v/%s.
+var ErrCanon = &Analyzer{
+	Name: "errcanon",
+	Doc:  "match canonical errors with errors.Is and wrap with %w, not ==/!= or %v",
+	Run:  runErrCanon,
+}
+
+func runErrCanon(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+			case *ast.SwitchStmt:
+				checkSentinelSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		if name, ok := sentinelName(pass, pair[1]); ok && isErrorType(pass.TypeOf(pair[0])) {
+			pass.Reportf(be.OpPos,
+				"canonical error compared with %s; use errors.Is(err, %s) so wrapped errors still match", be.Op, name)
+			return
+		}
+	}
+}
+
+func checkSentinelSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(pass.TypeOf(sw.Tag)) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := sentinelName(pass, e); ok {
+				pass.Reportf(e.Pos(),
+					"canonical error matched by switch case; use errors.Is(err, %s) so wrapped errors still match", name)
+			}
+		}
+	}
+}
+
+// sentinelName reports whether e denotes a package-level error variable
+// following the canonical naming convention (Err* or EOF), returning its
+// display name.
+func sentinelName(pass *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	obj, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorType(obj.Type()) {
+		return "", false
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") && obj.Name() != "EOF" {
+		return "", false
+	}
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		if pkg, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			return pkg.Name + "." + obj.Name(), true
+		}
+	}
+	return obj.Name(), true
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error-typed operand
+// with a flattening verb (%v, %s, %q, ...) instead of %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	args := call.Args[1:]
+	if len(verbs) != len(args) {
+		return // indexed or starred formats; out of scope
+	}
+	for i, verb := range verbs {
+		if verb == 'w' || verb == '*' {
+			continue
+		}
+		if isErrorType(pass.TypeOf(args[i])) {
+			pass.Reportf(args[i].Pos(),
+				"error formatted with %%%c detaches it from the chain; wrap with %%w so errors.Is keeps matching", verb)
+		}
+	}
+}
+
+// formatVerbs returns the verb letter consuming each successive operand of a
+// Printf-style format ('*' entries mark width/precision operands). Explicit
+// argument indexes make the mapping positional-unsafe, so they yield nil
+// (as distinct from an empty, verb-free format).
+func formatVerbs(format string) []rune {
+	verbs := []rune{}
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	spec:
+		for ; i < len(format); i++ {
+			switch c := format[i]; {
+			case c == '%':
+				break spec // literal %%
+			case strings.ContainsRune("+-# 0.", rune(c)) || c >= '0' && c <= '9':
+				// flags, width, precision digits
+			case c == '*':
+				verbs = append(verbs, '*')
+			case c == '[':
+				return nil // explicit argument index
+			default:
+				verbs = append(verbs, rune(c))
+				break spec
+			}
+		}
+	}
+	return verbs
+}
+
+// isErrorType reports whether t implements the error interface and is an
+// interface type (concrete error implementations compared by identity are a
+// different, deliberate pattern).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := types.Unalias(t).Underlying().(*types.Interface); !ok {
+		return false
+	}
+	return types.Implements(t, errorInterface)
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader caches one loader (and with it the type-checked stdlib) for
+// the whole test binary.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	return NewLoader(root)
+})
+
+func loadTestPkg(t *testing.T, rel, importPath string) *Package {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join(l.Root, rel), importPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", rel, err)
+	}
+	return pkg
+}
+
+// wantRe extracts the backquoted regexes of a `// want` comment.
+var wantRe = regexp.MustCompile("// want((?:\\s+`[^`]+`)+)")
+var wantArgRe = regexp.MustCompile("`([^`]+)`")
+
+type expectation struct {
+	line int
+	re   *regexp.Regexp
+	used bool
+	raw  string
+}
+
+// parseWants reads `// want `regex“ annotations per line of every file in
+// dir.
+func parseWants(t *testing.T, dir string) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(arg[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", e.Name(), i+1, arg[1], err)
+				}
+				wants[e.Name()] = append(wants[e.Name()], &expectation{line: i + 1, re: re, raw: arg[1]})
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden checks an analyzer against a testdata package: every `want`
+// annotation must be matched by a diagnostic on its line, and every
+// diagnostic must be claimed by a `want`.
+func runGolden(t *testing.T, rel, importPath string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg := loadTestPkg(t, rel, importPath)
+	diags := Run([]*Package{pkg}, analyzers)
+	wants := parseWants(t, pkg.Dir)
+
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		matched := false
+		for _, w := range wants[base] {
+			if w.used || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s:%d:%d: %s: %s", base, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		}
+	}
+	for file, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: want %q not reported", file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	runGolden(t, "internal/analysis/testdata/src/determinism/det",
+		"patchdb/internal/core/det", []*Analyzer{Determinism})
+}
+
+// TestDeterminismAllowlistedPackage loads the same violating source under a
+// package path outside the deterministic build set and expects silence:
+// benches, CLIs, and the ML layer may read clocks.
+func TestDeterminismAllowlistedPackage(t *testing.T) {
+	pkg := loadTestPkg(t, "internal/analysis/testdata/src/determinism/det",
+		"patchdb/internal/experiments/det")
+	if diags := Run([]*Package{pkg}, []*Analyzer{Determinism}); len(diags) != 0 {
+		t.Errorf("allowlisted package reported %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+func TestCtxLoopGolden(t *testing.T) {
+	runGolden(t, "internal/analysis/testdata/src/ctxloop/a",
+		"patchdb/internal/lintgolden/ctxloop", []*Analyzer{CtxLoop})
+}
+
+func TestErrCanonGolden(t *testing.T) {
+	runGolden(t, "internal/analysis/testdata/src/errcanon/a",
+		"patchdb/internal/lintgolden/errcanon", []*Analyzer{ErrCanon})
+}
+
+func TestTelemetrySafeGolden(t *testing.T) {
+	runGolden(t, "internal/analysis/testdata/src/telemetrysafe/a",
+		"patchdb/internal/lintgolden/telemetrysafe", []*Analyzer{TelemetrySafe})
+}
+
+// TestSuiteSelfCheck runs the full suite over the analyzer framework and the
+// patchdb-lint CLI: the linter must hold itself to the invariants it
+// enforces.
+func TestSuiteSelfCheck(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := l.Load(l.Root, "./internal/analysis", "./cmd/patchdb-lint")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("self-check: %s", d)
+	}
+}
+
+// TestGoldenPackagesDiffer guards the harness itself: the determinism golden
+// package must produce findings under its deterministic path, so the
+// allowlist test above cannot pass vacuously.
+func TestGoldenPackagesDiffer(t *testing.T) {
+	pkg := loadTestPkg(t, "internal/analysis/testdata/src/determinism/det",
+		"patchdb/internal/core/det2")
+	diags := Run([]*Package{pkg}, []*Analyzer{Determinism})
+	if len(diags) == 0 {
+		t.Fatal("deterministic-path load of golden package reported nothing; harness is broken")
+	}
+	for _, d := range diags {
+		if d.Pos.Line <= 0 || d.Pos.Column <= 0 || !strings.HasSuffix(d.Pos.Filename, "det.go") {
+			t.Errorf("diagnostic lacks accurate position: %+v", d)
+		}
+	}
+}

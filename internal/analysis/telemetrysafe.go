@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// telemetryPkgPath is the package whose Hub type the analyzer guards.
+const telemetryPkgPath = "patchdb/internal/telemetry"
+
+// hubSafeConstructors are the functions documented to never return a nil
+// *telemetry.Hub.
+var hubSafeConstructors = map[string]bool{
+	"NewHub":              true,
+	"Default":             true,
+	"HubFromContext":      true,
+	"NewTelemetryHub":     true,
+	"DefaultTelemetryHub": true,
+}
+
+// TelemetrySafe enforces the nil-safety contract of the telemetry layer:
+// every method on a telemetry type is a no-op on a nil receiver, but the
+// *telemetry.Hub struct exposes its Registry and Tracer as fields — a field
+// read through a nil hub panics. Config-supplied hubs are optional by
+// contract (nil means "no telemetry"), so a hub must be proven non-nil
+// before its fields are dereferenced: obtained from a never-nil constructor
+// (NewHub, Default, HubFromContext), or nil-checked in the enclosing
+// function first.
+var TelemetrySafe = &Analyzer{
+	Name: "telemetrysafe",
+	Doc:  "guard possibly-nil *telemetry.Hub values before accessing their fields",
+	Run:  runTelemetrySafe,
+}
+
+func runTelemetrySafe(pass *Pass) {
+	// The telemetry package itself constructs hubs and owns the contract.
+	if strings.HasPrefix(pass.Pkg.ImportPath, telemetryPkgPath) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				checkHubFieldAccess(pass, sel, stack)
+			}
+			return true
+		})
+	}
+}
+
+func checkHubFieldAccess(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	selection, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	if !isHubType(selection.Recv()) {
+		return
+	}
+	field := sel.Sel.Name
+	if field != "Registry" && field != "Tracer" {
+		return
+	}
+	if hubExprSafe(pass, sel.X, stack) {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"%s read through a possibly-nil *telemetry.Hub; nil-check it (or obtain the hub via telemetry.HubFromContext) first", field)
+}
+
+// hubExprSafe reports whether the hub operand is provably non-nil: the
+// direct result of a never-nil constructor, a package-level hub (initialized
+// at startup), or an identifier the enclosing function nil-checks or assigns
+// from a safe constructor before this use.
+func hubExprSafe(pass *Pass, x ast.Expr, stack []ast.Node) bool {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.CallExpr:
+		return isSafeHubCall(x)
+	case *ast.Ident:
+		obj := pass.ObjectOf(x)
+		if obj == nil {
+			return false
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return true // package-level hub, initialized at startup
+		}
+		// Closures capture their parent's locals, so a guard in any
+		// enclosing function covers a use in a nested literal.
+		for _, body := range enclosingFuncBodies(stack) {
+			if identProvenSafe(pass, body, obj, x.Pos()) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isSafeHubCall reports whether call invokes a never-nil hub constructor,
+// matched by name so the rule covers both the telemetry package and the root
+// package's re-exported wrappers.
+func isSafeHubCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return hubSafeConstructors[fun.Name]
+	case *ast.SelectorExpr:
+		return hubSafeConstructors[fun.Sel.Name]
+	}
+	return false
+}
+
+// identProvenSafe reports whether, before use, the enclosing function either
+// nil-compares the identifier's object (any `h == nil` / `h != nil` guard —
+// the repo idiom replaces or returns on nil) or assigns it from a safe
+// constructor.
+func identProvenSafe(pass *Pass, body *ast.BlockStmt, obj types.Object, use token.Pos) bool {
+	safe := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if safe {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.OpPos >= use || (n.Op != token.EQL && n.Op != token.NEQ) {
+				return true
+			}
+			for _, pair := range [][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+				id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+				if !ok || pass.ObjectOf(id) != obj {
+					continue
+				}
+				if lit, ok := ast.Unparen(pair[1]).(*ast.Ident); ok && lit.Name == "nil" {
+					safe = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Pos() >= use {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || len(n.Rhs) <= i {
+					continue
+				}
+				target := pass.ObjectOf(id)
+				if target != obj {
+					continue
+				}
+				if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok && isSafeHubCall(call) {
+					safe = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return safe
+}
+
+// isHubType reports whether t is telemetry.Hub or *telemetry.Hub.
+func isHubType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == telemetryPkgPath && obj.Name() == "Hub"
+}

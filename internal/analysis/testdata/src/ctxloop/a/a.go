@@ -1,0 +1,96 @@
+// Package a is ctxloop-analyzer golden testdata.
+package a
+
+import "context"
+
+func spinNoCheck(ctx context.Context, work func()) {
+	for { // want `unbounded loop in context-aware function never checks ctx`
+		work()
+	}
+}
+
+func whileNoCheck(ctx context.Context, busy func() bool) {
+	for busy() { // want `unbounded loop in context-aware function never checks ctx`
+	}
+}
+
+func spinWithSelect(ctx context.Context, work func()) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			work()
+		}
+	}
+}
+
+func whileWithErrCheck(ctx context.Context, busy func() bool) error {
+	for busy() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func derivedContextCounts(ctx context.Context, busy func() bool) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for busy() {
+		if err := sub.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func countedLoopIsBounded(ctx context.Context, n int, work func(int)) {
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+}
+
+func sliceRangeIsBounded(ctx context.Context, items []int, work func(int)) {
+	for _, it := range items {
+		work(it)
+	}
+}
+
+func workerNoCheck(ctx context.Context, jobs <-chan int, work func(int)) {
+	for j := range jobs { // want `channel-range worker loop never checks ctx`
+		work(j)
+	}
+}
+
+func workerWithCheck(ctx context.Context, jobs <-chan int, work func(int)) {
+	for j := range jobs {
+		if ctx.Err() != nil {
+			continue
+		}
+		work(j)
+	}
+}
+
+func closureCapturesContext(ctx context.Context, jobs <-chan int, work func(int)) {
+	go func() {
+		for j := range jobs { // want `channel-range worker loop never checks ctx`
+			work(j)
+		}
+	}()
+}
+
+func noContextNoContract(jobs <-chan int, work func(int)) {
+	for j := range jobs {
+		work(j)
+	}
+	for {
+		return
+	}
+}
+
+func suppressedSpin(ctx context.Context, step func() bool) {
+	//lint:ignore ctxloop golden-test case: loop terminates via step
+	for step() {
+	}
+}

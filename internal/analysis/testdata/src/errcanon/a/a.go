@@ -1,0 +1,70 @@
+// Package a is errcanon-analyzer golden testdata.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBoom is a canonical sentinel.
+var ErrBoom = errors.New("boom")
+
+// errLocalStyle does not follow the Err* convention and is left alone.
+var errLocalStyle = errors.New("local")
+
+func compareEq(err error) bool {
+	return err == ErrBoom // want `use errors.Is\(err, ErrBoom\)`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrBoom // want `use errors.Is\(err, ErrBoom\)`
+}
+
+func compareStdlibSentinel(err error) bool {
+	return err == io.EOF // want `use errors.Is\(err, io.EOF\)`
+}
+
+func errorsIsIsFine(err error) bool {
+	return errors.Is(err, ErrBoom)
+}
+
+func nilCompareIsFine(err error) bool {
+	return err != nil
+}
+
+func nonConventionNameIsFine(err error) bool {
+	return err == errLocalStyle
+}
+
+func switchSentinel(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrBoom: // want `use errors.Is\(err, ErrBoom\)`
+		return "boom"
+	default:
+		return "other"
+	}
+}
+
+func wrapWithV(err error) error {
+	return fmt.Errorf("stage failed: %v", err) // want `wrap with %w`
+}
+
+func wrapWithSAndLiteralPercent(n int, err error) error {
+	return fmt.Errorf("%d%% done: %s", n, err) // want `wrap with %w`
+}
+
+func wrapWithWIsFine(err error) error {
+	return fmt.Errorf("stage failed: %w", err)
+}
+
+func stringizedIsFine(err error) string {
+	return fmt.Sprintf("stage failed: %v", err.Error())
+}
+
+func suppressedCompare(err error) bool {
+	//lint:ignore errcanon golden-test case for directive suppression
+	return err == ErrBoom
+}

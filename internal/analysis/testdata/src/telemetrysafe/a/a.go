@@ -1,0 +1,83 @@
+// Package a is telemetrysafe-analyzer golden testdata.
+package a
+
+import (
+	"context"
+
+	"patchdb/internal/telemetry"
+)
+
+// Config carries an optional hub, nil meaning "no telemetry" — the contract
+// the analyzer guards.
+type Config struct {
+	Hub *telemetry.Hub
+}
+
+// processHub is package-level and initialized at startup, so it is non-nil
+// by construction.
+var processHub = telemetry.NewHub()
+
+func unguardedParam(hub *telemetry.Hub) *telemetry.Registry {
+	return hub.Registry // want `Registry read through a possibly-nil \*telemetry.Hub`
+}
+
+func unguardedTracer(hub *telemetry.Hub) *telemetry.Tracer {
+	return hub.Tracer // want `Tracer read through a possibly-nil \*telemetry.Hub`
+}
+
+func unguardedField(cfg Config) *telemetry.Registry {
+	return cfg.Hub.Registry // want `Registry read through a possibly-nil \*telemetry.Hub`
+}
+
+func guardedParam(hub *telemetry.Hub) *telemetry.Registry {
+	if hub == nil {
+		hub = telemetry.NewHub()
+	}
+	return hub.Registry
+}
+
+func guardedLocal(cfg Config) *telemetry.Registry {
+	hub := cfg.Hub
+	if hub == nil {
+		return nil
+	}
+	return hub.Registry
+}
+
+func constructorResult() *telemetry.Registry {
+	return telemetry.NewHub().Registry
+}
+
+func contextHub(ctx context.Context) *telemetry.Tracer {
+	return telemetry.HubFromContext(ctx).Tracer
+}
+
+func assignedFromConstructor(ctx context.Context) *telemetry.Registry {
+	hub := telemetry.HubFromContext(ctx)
+	return hub.Registry
+}
+
+func packageLevelHub() *telemetry.Registry {
+	return processHub.Registry
+}
+
+func guardCoversClosure(cfg Config) func() *telemetry.Registry {
+	hub := cfg.Hub
+	if hub == nil {
+		hub = telemetry.NewHub()
+	}
+	return func() *telemetry.Registry {
+		return hub.Registry
+	}
+}
+
+func unguardedInClosure(hub *telemetry.Hub) func() *telemetry.Registry {
+	return func() *telemetry.Registry {
+		return hub.Registry // want `Registry read through a possibly-nil \*telemetry.Hub`
+	}
+}
+
+func suppressedAccess(hub *telemetry.Hub) *telemetry.Registry {
+	//lint:ignore telemetrysafe golden-test case: caller guarantees non-nil
+	return hub.Registry
+}

@@ -113,10 +113,10 @@ func TestRunStopsOnLowRatio(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := Run(context.Background(), [][]float64{{1}}, nil, &mapVerifier{}, 1, Config{}); err != ErrEmptyPool {
+	if _, err := Run(context.Background(), [][]float64{{1}}, nil, &mapVerifier{}, 1, Config{}); !errors.Is(err, ErrEmptyPool) {
 		t.Errorf("empty pool err = %v", err)
 	}
-	if _, err := Run(context.Background(), nil, []Item{{ID: "a", Features: []float64{1}}}, &mapVerifier{}, 1, Config{}); err != nearestlink.ErrNoSecurityPatches {
+	if _, err := Run(context.Background(), nil, []Item{{ID: "a", Features: []float64{1}}}, &mapVerifier{}, 1, Config{}); !errors.Is(err, nearestlink.ErrNoSecurityPatches) {
 		t.Errorf("empty seed err = %v", err)
 	}
 }

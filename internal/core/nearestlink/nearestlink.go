@@ -110,6 +110,7 @@ func (s *Stats) finish(start time.Time) {
 	if considered := s.NormPruned + s.DistanceEvals; considered > 0 {
 		s.PrunedFraction = float64(s.NormPruned+s.EarlyExited) / float64(considered)
 	}
+	//lint:ignore determinism Stats.Duration is telemetry-only; link selection never reads it
 	s.Duration = time.Since(start)
 }
 
@@ -287,6 +288,7 @@ func searchFlat(ctx context.Context, sec, wld *Matrix, opts *Options, owned bool
 		ctx = context.Background()
 	}
 	o := opts.resolved()
+	//lint:ignore determinism search wall-clock feeds Stats.Duration (telemetry) only
 	start := time.Now()
 	stats := Stats{SecurityRows: sec.rows, WildCols: wld.rows}
 
@@ -472,6 +474,7 @@ func knnFlat(ctx context.Context, sec, wld *Matrix, opts *Options, owned bool) (
 		ctx = context.Background()
 	}
 	o := opts.resolved()
+	//lint:ignore determinism KNN wall-clock feeds Stats.Duration (telemetry) only
 	start := time.Now()
 	stats := Stats{SecurityRows: sec.rows, WildCols: wld.rows}
 	if !o.DisableNormalization {

@@ -177,10 +177,10 @@ func TestSearchMoreSecurityThanWild(t *testing.T) {
 }
 
 func TestSearchErrors(t *testing.T) {
-	if _, err := Search(bg, nil, [][]float64{{1}}, nil); err != ErrNoSecurityPatches {
+	if _, err := Search(bg, nil, [][]float64{{1}}, nil); !errors.Is(err, ErrNoSecurityPatches) {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := Search(bg, [][]float64{{1}}, nil, nil); err != ErrNoWildPatches {
+	if _, err := Search(bg, [][]float64{{1}}, nil, nil); !errors.Is(err, ErrNoWildPatches) {
 		t.Errorf("err = %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package oversample
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -93,7 +94,7 @@ func TestApplyVariantPreservesIndent(t *testing.T) {
 }
 
 func TestApplyVariantErrors(t *testing.T) {
-	if _, err := ApplyVariant("x", nil, VariantZeroOr); err != ErrNoIfStatement {
+	if _, err := ApplyVariant("x", nil, VariantZeroOr); !errors.Is(err, ErrNoIfStatement) {
 		t.Errorf("nil ifStmt err = %v", err)
 	}
 	ifStmt := locateIf(t, afterSrc)

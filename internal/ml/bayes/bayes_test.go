@@ -1,6 +1,7 @@
 package bayes
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -129,7 +130,7 @@ func TestAllRejectEmpty(t *testing.T) {
 	for name, c := range map[string]ml.Classifier{
 		"gaussian": &GaussianNB{}, "discrete": &DiscreteNB{}, "tan": &TAN{},
 	} {
-		if err := c.Fit(nil, nil); err != ml.ErrEmptyDataset {
+		if err := c.Fit(nil, nil); !errors.Is(err, ml.ErrEmptyDataset) {
 			t.Errorf("%s: err = %v", name, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package linear
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -69,7 +70,7 @@ func TestAllModelsLearnSeparable(t *testing.T) {
 
 func TestAllModelsRejectEmpty(t *testing.T) {
 	for name, m := range models(4) {
-		if err := m.Fit(nil, nil); err != ml.ErrEmptyDataset {
+		if err := m.Fit(nil, nil); !errors.Is(err, ml.ErrEmptyDataset) {
 			t.Errorf("%s: err = %v", name, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package neural
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -128,7 +129,7 @@ func TestRNNOrderSensitivity(t *testing.T) {
 
 func TestRNNEmpty(t *testing.T) {
 	r := &RNN{}
-	if err := r.FitTokens(nil, nil); err != ml.ErrEmptyDataset {
+	if err := r.FitTokens(nil, nil); !errors.Is(err, ml.ErrEmptyDataset) {
 		t.Errorf("err = %v", err)
 	}
 	if r.ProbaTokens([]string{"a"}) != 0 {

@@ -1,6 +1,7 @@
 package tree
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -77,7 +78,7 @@ func TestTreeXor(t *testing.T) {
 
 func TestTreeEmpty(t *testing.T) {
 	tr := &Tree{}
-	if err := tr.Fit(nil, nil); err != ml.ErrEmptyDataset {
+	if err := tr.Fit(nil, nil); !errors.Is(err, ml.ErrEmptyDataset) {
 		t.Errorf("err = %v", err)
 	}
 	if tr.Proba([]float64{1}) != 0 {
@@ -132,7 +133,7 @@ func TestForestDeterminism(t *testing.T) {
 
 func TestForestEmpty(t *testing.T) {
 	f := &Forest{}
-	if err := f.Fit(nil, nil); err != ml.ErrEmptyDataset {
+	if err := f.Fit(nil, nil); !errors.Is(err, ml.ErrEmptyDataset) {
 		t.Errorf("err = %v", err)
 	}
 	if f.Proba([]float64{1}) != 0 {
@@ -170,7 +171,7 @@ func TestREPTreePrunes(t *testing.T) {
 
 func TestREPTreeEmpty(t *testing.T) {
 	r := &REPTree{}
-	if err := r.Fit(nil, nil); err != ml.ErrEmptyDataset {
+	if err := r.Fit(nil, nil); !errors.Is(err, ml.ErrEmptyDataset) {
 		t.Errorf("err = %v", err)
 	}
 	if r.Proba([]float64{0}) != 0 {

@@ -156,8 +156,10 @@ func (m *Metrics) Observe(stage Stage, d time.Duration, items int) {
 //	... do work ...
 //	stop(len(items))
 func (m *Metrics) Timer(stage Stage) func(items int) {
+	//lint:ignore determinism stage timing is telemetry-only; durations never feed dataset output
 	start := time.Now()
 	return func(items int) {
+		//lint:ignore determinism stage timing is telemetry-only; durations never feed dataset output
 		m.Observe(stage, time.Since(start), items)
 	}
 }

@@ -124,6 +124,9 @@ func (p Policy) acquire(ctx context.Context) (func(failed bool), error) {
 		return nil, nil
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		release, wait := p.Breaker.Allow()
 		if release != nil {
 			return release, nil

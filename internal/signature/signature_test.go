@@ -1,6 +1,7 @@
 package signature
 
 import (
+	"errors"
 	"testing"
 
 	"patchdb/internal/corpus"
@@ -70,7 +71,7 @@ func TestGenerate(t *testing.T) {
 }
 
 func TestGenerateErrors(t *testing.T) {
-	if _, err := Generate(&diff.Patch{Commit: "x"}, "", Options{}); err != ErrNoChanges {
+	if _, err := Generate(&diff.Patch{Commit: "x"}, "", Options{}); !errors.Is(err, ErrNoChanges) {
 		t.Errorf("empty patch err = %v", err)
 	}
 	tiny := diff.ComputePatch("t", "", map[string]string{"a.c": "x;\n"}, map[string]string{"a.c": "y;\n"}, 0)

@@ -16,10 +16,10 @@ const DefaultTraceCapacity = 4096
 // exported to JSONL. IDs are assigned at Start from a per-tracer monotonic
 // counter, so a parent's ID is always smaller than its children's.
 type SpanRecord struct {
-	ID     uint64         `json:"id"`
-	Parent uint64         `json:"parent,omitempty"`
-	Name   string         `json:"name"`
-	Start  time.Time      `json:"start"`
+	ID     uint64    `json:"id"`
+	Parent uint64    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
 	// DurationNS is the span's wall-clock duration in nanoseconds.
 	DurationNS int64          `json:"duration_ns"`
 	Attrs      map[string]any `json:"attrs,omitempty"`

@@ -1,0 +1,24 @@
+#!/bin/sh
+# scripts/ci.sh — the merge gate as one script, for environments without
+# GitHub Actions. Mirrors .github/workflows/ci.yml and `make ci`: build,
+# stock vet, the custom patchdb-lint suite, and the test run. Exits non-zero
+# on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+
+echo "==> build"
+"$GO" build ./...
+
+echo "==> vet"
+"$GO" vet ./...
+
+echo "==> lint (patchdb-lint: determinism ctxloop errcanon telemetrysafe)"
+"$GO" run ./cmd/patchdb-lint ./...
+
+echo "==> test"
+"$GO" test ./...
+
+echo "ci: ok"
