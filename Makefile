@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-nearestlink verify verify-chaos verify-telemetry ci clean
+.PHONY: build test vet lint race bench bench-nearestlink bench-serve verify verify-chaos verify-telemetry verify-serve ci clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,12 @@ bench:
 bench-nearestlink:
 	$(GO) run ./cmd/patchdb-bench -only NEARESTLINK
 
+# bench-serve drives the patchdb-serve query API over real loopback HTTP at
+# 1/4/16 store shards, cold vs. warm snapshot, and writes BENCH_serve.json
+# (p50/p99 latency, QPS) — the perf trajectory for the serving layer.
+bench-serve:
+	$(GO) run ./cmd/patchdb-bench -only SERVE
+
 # verify-chaos runs the fault-injection suite under the race detector: the
 # injected fault classes, the retry/breaker machinery, and the end-to-end
 # chaos tests of the crawler and builder.
@@ -49,11 +55,17 @@ verify-chaos:
 verify-telemetry:
 	$(GO) test -race -count=1 ./internal/telemetry/ ./internal/pipeline/
 
+# verify-serve runs the serving-layer suite under the race detector: the
+# snapshot-swap isolation test (readers during reload see old-or-new, never
+# a mix), shard invariance, cursor pagination, and the HTTP handlers.
+verify-serve:
+	$(GO) test -race -count=1 ./internal/store/ ./internal/experiments/servebench/
+
 # verify is the full pre-merge tier: verify = vet + lint + chaos +
-# telemetry + race — stock and custom static analysis, the fault-injection
-# and telemetry suites, and the race-enabled test suite (which subsumes the
-# plain test run).
-verify: vet lint verify-chaos verify-telemetry race
+# telemetry + serve + race — stock and custom static analysis, the
+# fault-injection, telemetry, and serving suites, and the race-enabled test
+# suite (which subsumes the plain test run).
+verify: vet lint verify-chaos verify-telemetry verify-serve race
 
 # ci is the fast merge gate mirrored by .github/workflows/ci.yml and
 # scripts/ci.sh: build, both static-analysis tiers, and the plain test run.

@@ -11,6 +11,7 @@
 //	patchdb-bench -only BUILD     # end-to-end pipeline with stage timings
 //	patchdb-bench -only CHAOS     # crawl resilience under injected faults
 //	patchdb-bench -only NEARESTLINK  # search engine sweep -> BENCH_nearestlink.json
+//	patchdb-bench -only SERVE     # query API load generation -> BENCH_serve.json
 //	patchdb-bench -only BUILD -serve-metrics 127.0.0.1:9090  # scrape /metrics live
 //	patchdb-bench -only BUILD -telemetry-out report.json     # write the RunReport
 package main
@@ -38,7 +39,7 @@ func main() {
 func run() error {
 	var (
 		scaleName = flag.String("scale", "default", "experiment scale: small, default, or paper")
-		only      = flag.String("only", "", "comma-separated experiment ids (II,III,IV,V,VI,VII,F6,BUILD,CHAOS,NEARESTLINK); empty = all")
+		only      = flag.String("only", "", "comma-separated experiment ids (II,III,IV,V,VI,VII,F6,BUILD,CHAOS,NEARESTLINK,SERVE); empty = all")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "BUILD/CHAOS/NEARESTLINK experiment worker-pool size (0 = GOMAXPROCS)")
 		telOut    = flag.String("telemetry-out", "", "write the BUILD experiment's RunReport JSON to this path (empty = disabled)")
@@ -99,6 +100,7 @@ func run() error {
 		{"BUILD", func() (fmt.Stringer, error) { return runBuild(scale, *workers, hub, *telOut) }},
 		{"CHAOS", func() (fmt.Stringer, error) { return runChaos(scale.NVDSeed, scale.Seed, *workers) }},
 		{"NEARESTLINK", func() (fmt.Stringer, error) { return runNearestLink(scale, *workers) }},
+		{"SERVE", func() (fmt.Stringer, error) { return runServe(scale, *workers) }},
 	}
 	for _, e := range all {
 		if !selected(e.id) {

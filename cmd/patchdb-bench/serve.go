@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"patchdb/internal/experiments"
+	"patchdb/internal/experiments/servebench"
+)
+
+// serveJSON is the serving-layer perf artifact the SERVE experiment emits:
+// p50/p99 latency and QPS per shard count, cold vs. warm.
+const serveJSON = "BENCH_serve.json"
+
+type serveResult struct {
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale"`
+	servebench.ServeBench
+	path string
+}
+
+func (r serveResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SERVE: sharded store + query API under load (%d records, %d clients)\n",
+		r.Records, r.Workers)
+	sb.WriteString("  shards  phase  requests       p50       p99       QPS\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %6d  %5s  %8d  %8s  %8s  %8.0f\n",
+			row.Shards, row.Phase, row.Requests,
+			time.Duration(row.P50NS).Round(time.Microsecond),
+			time.Duration(row.P99NS).Round(time.Microsecond),
+			row.QPS)
+	}
+	fmt.Fprintf(&sb, "  wrote %s", r.path)
+	return sb.String()
+}
+
+// runServe drives the SERVE load-generation harness and writes the
+// measurements to BENCH_serve.json.
+func runServe(scale experiments.Scale, workers int) (fmt.Stringer, error) {
+	bench, err := servebench.RunServeBench(scale, workers, 0, []int{1, 4, 16})
+	if err != nil {
+		return nil, err
+	}
+	res := serveResult{Experiment: "serve", Scale: scale.Name, ServeBench: *bench, path: serveJSON}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(serveJSON, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("write %s: %w", serveJSON, err)
+	}
+	return res, nil
+}

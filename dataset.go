@@ -2,9 +2,11 @@ package patchdb
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Record is one patch in a PatchDB dataset.
@@ -78,29 +80,78 @@ func (d *Dataset) WriteJSON(w io.Writer) error {
 	return nil
 }
 
-// SaveJSON writes the dataset to a file.
+// SaveJSON writes the dataset to a file atomically: the document is written
+// to a same-directory temp file, synced, closed, and renamed over path, so a
+// crash or full disk mid-write can never leave a truncated artifact where a
+// previous good one stood.
 func (d *Dataset) SaveJSON(path string) error {
-	f, err := os.Create(path)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".patchdb-*.json")
 	if err != nil {
 		return fmt.Errorf("save dataset: %w", err)
 	}
-	defer f.Close()
-	if err := d.WriteJSON(f); err != nil {
+	if err := d.WriteJSON(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
 		return err
 	}
-	if err := f.Sync(); err != nil {
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("save dataset: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("save dataset: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
 		return fmt.Errorf("save dataset: %w", err)
 	}
 	return nil
 }
 
-// LoadDataset reads a dataset from JSON.
+// LoadDataset reads a dataset from JSON. Input that decodes but cannot be a
+// faithful artifact is rejected: trailing data after the JSON document
+// (e.g. the tail of an overwritten longer file) and records without an ID.
+// Absent or null component arrays are normalized to empty slices.
 func LoadDataset(r io.Reader) (*Dataset, error) {
+	dec := json.NewDecoder(r)
 	var d Dataset
-	if err := json.NewDecoder(r).Decode(&d); err != nil {
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("decode dataset: %w", err)
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("decode dataset: trailing data after JSON document")
+	}
+	if err := d.normalize(); err != nil {
 		return nil, fmt.Errorf("decode dataset: %w", err)
 	}
 	return &d, nil
+}
+
+// normalize replaces null component arrays with empty ones and rejects
+// records missing the ID every consumer keys on.
+func (d *Dataset) normalize() error {
+	for _, c := range []struct {
+		name    string
+		records *[]Record
+	}{
+		{"nvd", &d.NVD},
+		{"wild", &d.Wild},
+		{"non_security", &d.NonSecurity},
+		{"synthetic", &d.Synthetic},
+	} {
+		if *c.records == nil {
+			*c.records = []Record{}
+			continue
+		}
+		for i, r := range *c.records {
+			if r.ID == "" {
+				return fmt.Errorf("component %s: record %d has no id", c.name, i)
+			}
+		}
+	}
+	return nil
 }
 
 // LoadDatasetFile reads a dataset from a JSON file.

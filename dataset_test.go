@@ -1,0 +1,145 @@
+package patchdb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleDataset() *Dataset {
+	return &Dataset{
+		NVD: []Record{
+			{ID: "aaa", Repo: "r1", CVE: "CVE-2010-10001", Security: true, Pattern: PatternBoundCheck, Source: "nvd", Text: "t"},
+		},
+		Wild: []Record{
+			{ID: "bbb", Repo: "r2", Security: true, Pattern: PatternNullCheck, Source: "wild", Text: "t"},
+		},
+		NonSecurity: []Record{
+			{ID: "ccc", Repo: "r1", Source: "wild", Text: "t"},
+		},
+		Synthetic: []Record{},
+	}
+}
+
+func TestSaveJSONAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.json")
+	ds := sampleDataset()
+
+	// First write, then overwrite: the artifact must stay loadable and no
+	// temp files may be left behind.
+	for i := 0; i < 2; i++ {
+		if err := ds.SaveJSON(path); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	got, err := LoadDatasetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats() != ds.Stats() {
+		t.Errorf("round trip stats: %+v vs %+v", got.Stats(), ds.Stats())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "ds.json" {
+			t.Errorf("leftover temp file %q", e.Name())
+		}
+	}
+}
+
+func TestSaveJSONFailureKeepsOldArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.json")
+	if err := sampleDataset().SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Make the directory read-only so the temp-file creation fails: the
+	// existing artifact must be untouched.
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: read-only directory does not block writes")
+	}
+	if err := sampleDataset().SaveJSON(path); err == nil {
+		t.Fatal("save into read-only dir succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("failed save modified the existing artifact")
+	}
+}
+
+func TestLoadDatasetRejectsTrailingGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.json")
+	if err := sampleDataset().SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tail := range []string{"garbage", "{\"nvd\":[]}", "[1,2,3]"} {
+		if err := os.WriteFile(path, append(append([]byte{}, doc...), tail...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadDatasetFile(path); err == nil {
+			t.Errorf("trailing %q accepted", tail)
+		}
+	}
+
+	// Trailing whitespace is fine.
+	if err := os.WriteFile(path, append(append([]byte{}, doc...), " \n\t\n"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDatasetFile(path); err != nil {
+		t.Errorf("trailing whitespace rejected: %v", err)
+	}
+}
+
+func TestLoadDatasetNormalizesNullComponents(t *testing.T) {
+	ds, err := LoadDataset(strings.NewReader(`{"nvd": null, "wild": null, "non_security": null, "synthetic": null}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NVD == nil || ds.Wild == nil || ds.NonSecurity == nil || ds.Synthetic == nil {
+		t.Errorf("null components not normalized: %+v", ds)
+	}
+	if ds.Stats() != (Stats{}) {
+		t.Errorf("stats = %+v, want zero", ds.Stats())
+	}
+	// An empty document behaves the same.
+	ds, err = LoadDataset(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NVD == nil {
+		t.Error("absent components not normalized")
+	}
+}
+
+func TestLoadDatasetRejectsRecordWithoutID(t *testing.T) {
+	_, err := LoadDataset(strings.NewReader(`{"wild": [{"repo": "r", "security": true, "source": "wild", "text": "t"}]}`))
+	if err == nil {
+		t.Fatal("record without id accepted")
+	}
+	if !strings.Contains(err.Error(), "no id") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

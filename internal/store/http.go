@@ -1,0 +1,259 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"patchdb"
+	"patchdb/internal/telemetry"
+)
+
+// Metric names published by the HTTP layer.
+const (
+	MetricRequests       = "patchdb_serve_requests_total"
+	MetricRequestSeconds = "patchdb_serve_request_seconds"
+	MetricReloads        = "patchdb_serve_reloads_total"
+)
+
+// NewHandler builds the versioned query API over st:
+//
+//	GET  /v1/patch/{id}     one record by commit hash
+//	GET  /v1/cve/{cve}      every record fixing a CVE
+//	GET  /v1/patches        filtered scan with cursor pagination
+//	                        (?source= &security= &pattern= &repo=
+//	                         &cursor= &limit=)
+//	GET  /v1/stats          component sizes, version, shard count
+//	GET  /v1/distribution   Table V pattern distribution
+//	POST /reload            swap in a fresh snapshot via the reload hook
+//	GET  /healthz           liveness
+//
+// Every endpoint is instrumented into hub (request counters by endpoint and
+// status code, latency histograms, one span per request). reload is invoked
+// by POST /reload; pass nil to disable the endpoint (it then answers 501).
+// A nil hub gets a private one.
+func NewHandler(st *Store, hub *telemetry.Hub, reload func() (*Snapshot, error)) http.Handler {
+	if hub == nil {
+		hub = telemetry.NewHub()
+	}
+	s := &api{store: st, reg: hub.Registry, tracer: hub.Tracer, reload: reload}
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/patch/{id}", s.instrument("patch", s.handlePatch))
+	mux.Handle("GET /v1/cve/{cve}", s.instrument("cve", s.handleCVE))
+	mux.Handle("GET /v1/patches", s.instrument("patches", s.handlePatches))
+	mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.Handle("GET /v1/distribution", s.instrument("distribution", s.handleDistribution))
+	mux.Handle("POST /reload", s.instrument("reload", s.handleReload))
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	return mux
+}
+
+// api carries the handler dependencies: the store, the telemetry sinks
+// (extracted from the hub once, at construction), and the reload hook.
+type api struct {
+	store  *Store
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	reload func() (*Snapshot, error)
+}
+
+// statusWriter captures the status code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint with a per-request span, a latency
+// observation, and a (endpoint, code) request counter.
+func (s *api) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	hist := s.reg.Histogram(MetricRequestSeconds, nil, telemetry.L("endpoint", endpoint))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, span := s.tracer.Start(r.Context(), "serve."+endpoint)
+		defer span.End()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		hist.Observe(time.Since(start).Seconds())
+		span.SetAttr("status", sw.status)
+		s.reg.Counter(MetricRequests,
+			telemetry.L("endpoint", endpoint),
+			telemetry.L("code", strconv.Itoa(sw.status))).Inc()
+	})
+}
+
+// errorBody is the JSON shape of every non-2xx API response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	// The status line is already out; an encode failure here can only be a
+	// dead client, which the server loop surfaces on its own.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *api) handlePatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.store.Snapshot().Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no patch with id %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// cveResponse is the /v1/cve/{cve} payload.
+type cveResponse struct {
+	CVE     string           `json:"cve"`
+	Records []patchdb.Record `json:"records"`
+	Version uint64           `json:"version"`
+}
+
+func (s *api) handleCVE(w http.ResponseWriter, r *http.Request) {
+	cve := r.PathValue("cve")
+	sn := s.store.Snapshot()
+	recs := sn.CVE(cve)
+	if len(recs) == 0 {
+		writeError(w, http.StatusNotFound, "no patches for %q", cve)
+		return
+	}
+	writeJSON(w, http.StatusOK, cveResponse{CVE: cve, Records: recs, Version: sn.Version})
+}
+
+// parseQuery maps the /v1/patches URL parameters onto a Query, reporting
+// the first malformed parameter.
+func parseQuery(r *http.Request) (Query, error) {
+	q := Query{
+		Source: r.URL.Query().Get("source"),
+		Repo:   r.URL.Query().Get("repo"),
+		Cursor: r.URL.Query().Get("cursor"),
+	}
+	if v := r.URL.Query().Get("security"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return q, fmt.Errorf("security=%q is not a boolean", v)
+		}
+		q.Security = &b
+	}
+	if v := r.URL.Query().Get("pattern"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return q, fmt.Errorf("pattern=%q is not a pattern class number", v)
+		}
+		q.Pattern = patchdb.Pattern(n)
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return q, fmt.Errorf("limit=%q is not an integer", v)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (s *api) handlePatches(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	page, err := s.store.Snapshot().List(q)
+	if err != nil {
+		if errors.Is(err, ErrBadQuery) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// statsResponse is the /v1/stats payload.
+type statsResponse struct {
+	patchdb.Stats
+	Records    int    `json:"records"`
+	Duplicates int    `json:"duplicates,omitempty"`
+	Version    uint64 `json:"version"`
+	Shards     int    `json:"shards"`
+}
+
+func (s *api) handleStats(w http.ResponseWriter, r *http.Request) {
+	sn := s.store.Snapshot()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:      sn.Stats(),
+		Records:    sn.Records(),
+		Duplicates: sn.Duplicates(),
+		Version:    sn.Version,
+		Shards:     sn.Shards,
+	})
+}
+
+// distributionEntry is one pattern class row of /v1/distribution.
+type distributionEntry struct {
+	Pattern     int    `json:"pattern"`
+	Description string `json:"description"`
+	Count       int    `json:"count"`
+}
+
+// distributionResponse is the /v1/distribution payload, in pattern order.
+type distributionResponse struct {
+	Distribution []distributionEntry `json:"distribution"`
+	Version      uint64              `json:"version"`
+}
+
+func (s *api) handleDistribution(w http.ResponseWriter, r *http.Request) {
+	sn := s.store.Snapshot()
+	dist := sn.Distribution()
+	resp := distributionResponse{Version: sn.Version}
+	for p := patchdb.Pattern(1); int(p) <= patchdb.NumPatterns; p++ {
+		resp.Distribution = append(resp.Distribution, distributionEntry{
+			Pattern:     int(p),
+			Description: p.String(),
+			Count:       dist[p],
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// reloadResponse is the POST /reload payload.
+type reloadResponse struct {
+	Version uint64        `json:"version"`
+	Stats   patchdb.Stats `json:"stats"`
+	Records int           `json:"records"`
+}
+
+func (s *api) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.reload == nil {
+		writeError(w, http.StatusNotImplemented, "no reload source configured")
+		return
+	}
+	sn, err := s.reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reload: %v", err)
+		return
+	}
+	s.reg.Counter(MetricReloads).Inc()
+	writeJSON(w, http.StatusOK, reloadResponse{Version: sn.Version, Stats: sn.Stats(), Records: sn.Records()})
+}
+
+func (s *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.store.Snapshot().Version})
+}

@@ -1,0 +1,205 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"patchdb/internal/telemetry"
+)
+
+func testAPI(t *testing.T, hub *telemetry.Hub, reload func() (*Snapshot, error)) (*Store, http.Handler) {
+	t.Helper()
+	st := New(4, hub)
+	st.Load(testDataset(60, "v1"))
+	return st, NewHandler(st, hub, reload)
+}
+
+func get(t *testing.T, h http.Handler, method, target string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(method, target, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, string(body)
+}
+
+// TestHandlerStatusTable covers the 2xx/4xx surface of every endpoint.
+func TestHandlerStatusTable(t *testing.T) {
+	_, h := testAPI(t, nil, nil)
+	cases := []struct {
+		method, target string
+		wantCode       int
+		wantBody       string // substring
+	}{
+		{"GET", "/v1/patch/commit-0000", http.StatusOK, `"commit-0000"`},
+		{"GET", "/v1/patch/unknown", http.StatusNotFound, "no patch"},
+		{"GET", "/v1/cve/CVE-2020-00000", http.StatusOK, `"records"`},
+		{"GET", "/v1/cve/CVE-1999-00000", http.StatusNotFound, "no patches"},
+		{"GET", "/v1/patches", http.StatusOK, `"records"`},
+		{"GET", "/v1/patches?source=nvd&security=true&limit=5", http.StatusOK, `"next_cursor"`},
+		{"GET", "/v1/patches?security=maybe", http.StatusBadRequest, "not a boolean"},
+		{"GET", "/v1/patches?pattern=boundcheck", http.StatusBadRequest, "pattern"},
+		{"GET", "/v1/patches?pattern=99", http.StatusBadRequest, "out of range"},
+		{"GET", "/v1/patches?limit=nope", http.StatusBadRequest, "not an integer"},
+		{"GET", "/v1/patches?limit=100000", http.StatusBadRequest, "out of range"},
+		{"GET", "/v1/patches?source=bitbucket", http.StatusBadRequest, "unknown source"},
+		{"GET", "/v1/stats", http.StatusOK, `"shards": 4`},
+		{"GET", "/v1/distribution", http.StatusOK, `"distribution"`},
+		{"GET", "/healthz", http.StatusOK, `"ok"`},
+		{"POST", "/reload", http.StatusNotImplemented, "no reload source"},
+		{"GET", "/v1/nonexistent", http.StatusNotFound, ""},
+		{"POST", "/v1/patches", http.StatusMethodNotAllowed, ""},
+		{"GET", "/reload", http.StatusMethodNotAllowed, ""},
+	}
+	for _, c := range cases {
+		code, body := get(t, h, c.method, c.target)
+		if code != c.wantCode {
+			t.Errorf("%s %s: code %d, want %d (body %q)", c.method, c.target, code, c.wantCode, body)
+		}
+		if c.wantBody != "" && !strings.Contains(body, c.wantBody) {
+			t.Errorf("%s %s: body %q missing %q", c.method, c.target, body, c.wantBody)
+		}
+	}
+}
+
+func TestHandlerPaginationAndFilters(t *testing.T) {
+	_, h := testAPI(t, nil, nil)
+	code, body := get(t, h, "GET", "/v1/patches?source=nvd&limit=4")
+	if code != http.StatusOK {
+		t.Fatalf("code %d: %s", code, body)
+	}
+	var page Page
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Records) != 4 || page.NextCursor == "" {
+		t.Fatalf("page = %d records, cursor %q", len(page.Records), page.NextCursor)
+	}
+	for _, r := range page.Records {
+		if r.Source != "nvd" {
+			t.Errorf("filtered page contains source %q", r.Source)
+		}
+	}
+	// Follow the cursor: the next page starts strictly after the last.
+	code, body = get(t, h, "GET", "/v1/patches?source=nvd&limit=100&cursor="+page.NextCursor)
+	if code != http.StatusOK {
+		t.Fatalf("cursor page code %d", code)
+	}
+	var rest Page
+	if err := json.Unmarshal([]byte(body), &rest); err != nil {
+		t.Fatal(err)
+	}
+	if len(rest.Records) == 0 || rest.Records[0].ID <= page.Records[3].ID {
+		t.Errorf("cursor continuation wrong: first=%v", rest.Records)
+	}
+	if len(page.Records)+len(rest.Records) != 15 {
+		t.Errorf("nvd records across pages = %d, want 15", len(page.Records)+len(rest.Records))
+	}
+}
+
+func TestHandlerReload(t *testing.T) {
+	hub := telemetry.NewHub()
+	var st *Store
+	reload := func() (*Snapshot, error) { return st.Load(testDataset(30, "v2")), nil }
+	st, h := testAPI(t, hub, reload)
+
+	code, body := get(t, h, "POST", "/reload")
+	if code != http.StatusOK {
+		t.Fatalf("reload code %d: %s", code, body)
+	}
+	var resp struct {
+		Version uint64 `json:"version"`
+		Records int    `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != 2 || resp.Records != 30 {
+		t.Errorf("reload response = %+v", resp)
+	}
+	if st.Snapshot().Records() != 30 {
+		t.Error("reload did not swap the snapshot")
+	}
+
+	// A failing reload keeps the current snapshot and answers 500.
+	failing := NewHandler(st, hub, func() (*Snapshot, error) {
+		return nil, errors.New("disk gone")
+	})
+	code, body = get(t, failing, "POST", "/reload")
+	if code != http.StatusInternalServerError || !strings.Contains(body, "disk gone") {
+		t.Errorf("failing reload: %d %q", code, body)
+	}
+	if st.Snapshot().Records() != 30 {
+		t.Error("failed reload disturbed the snapshot")
+	}
+}
+
+// TestHandlerTelemetry: every request lands in the hub as a counter with
+// endpoint+code labels, a latency observation, and a span.
+func TestHandlerTelemetry(t *testing.T) {
+	hub := telemetry.NewHub()
+	_, h := testAPI(t, hub, nil)
+	get(t, h, "GET", "/v1/patch/commit-0000")
+	get(t, h, "GET", "/v1/patch/unknown")
+	get(t, h, "GET", "/v1/stats")
+
+	if v := hub.Registry.Counter(MetricRequests,
+		telemetry.L("endpoint", "patch"), telemetry.L("code", "200")).Value(); v != 1 {
+		t.Errorf("patch 200 counter = %v", v)
+	}
+	if v := hub.Registry.Counter(MetricRequests,
+		telemetry.L("endpoint", "patch"), telemetry.L("code", "404")).Value(); v != 1 {
+		t.Errorf("patch 404 counter = %v", v)
+	}
+	hist := hub.Registry.Histogram(MetricRequestSeconds, nil, telemetry.L("endpoint", "stats")).Snapshot()
+	if hist.Count != 1 {
+		t.Errorf("stats latency observations = %d", hist.Count)
+	}
+	spans := hub.Tracer.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	for _, s := range spans {
+		if !strings.HasPrefix(s.Name, "serve.") {
+			t.Errorf("span %q lacks the serve. prefix", s.Name)
+		}
+	}
+}
+
+// TestServeLifecycle exercises the real listener: bind, query over TCP,
+// graceful Close.
+func TestServeLifecycle(t *testing.T) {
+	st := New(2, nil)
+	st.Load(testDataset(10, "v1"))
+	srv, err := Serve("127.0.0.1:0", NewHandler(st, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"records": 10`) {
+		t.Errorf("stats over TCP: %d %q", resp.StatusCode, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil close: %v", err)
+	}
+}

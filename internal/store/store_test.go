@@ -1,0 +1,307 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"patchdb"
+)
+
+// testDataset builds a deterministic dataset whose every record carries tag
+// in its Repo suffix, so a reader can tell which dataset version a record
+// came from.
+func testDataset(n int, tag string) *patchdb.Dataset {
+	ds := &patchdb.Dataset{}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("commit-%04d", i)
+		repo := fmt.Sprintf("repo-%d-%s", i%5, tag)
+		switch i % 4 {
+		case 0:
+			ds.NVD = append(ds.NVD, patchdb.Record{
+				ID: id, Repo: repo, CVE: fmt.Sprintf("CVE-2020-%05d", i/2), Security: true,
+				Pattern: patchdb.Pattern(1 + i%patchdb.NumPatterns), Source: "nvd", Text: "t",
+			})
+		case 1:
+			ds.Wild = append(ds.Wild, patchdb.Record{
+				ID: id, Repo: repo, Security: true,
+				Pattern: patchdb.Pattern(1 + i%patchdb.NumPatterns), Source: "wild", Text: "t",
+			})
+		case 2:
+			ds.NonSecurity = append(ds.NonSecurity, patchdb.Record{
+				ID: id, Repo: repo, Source: "wild", Text: "t",
+			})
+		default:
+			ds.Synthetic = append(ds.Synthetic, patchdb.Record{
+				ID: id, Repo: repo, Security: true,
+				Pattern: patchdb.Pattern(1 + i%patchdb.NumPatterns), Source: "synthetic", Text: "t",
+			})
+		}
+	}
+	return ds
+}
+
+func TestStoreLookupAndStats(t *testing.T) {
+	ds := testDataset(100, "v1")
+	st := New(4, nil)
+	if st.Snapshot().Records() != 0 {
+		t.Errorf("fresh store serves %d records", st.Snapshot().Records())
+	}
+	sn := st.Load(ds)
+
+	if sn.Records() != 100 {
+		t.Fatalf("records = %d, want 100", sn.Records())
+	}
+	if sn.Version != 1 {
+		t.Errorf("version = %d, want 1", sn.Version)
+	}
+	if got, want := sn.Stats(), ds.Stats(); got != want {
+		t.Errorf("stats = %+v, want %+v", got, want)
+	}
+	r, ok := sn.Get("commit-0004")
+	if !ok || r.Source != "nvd" || !r.Security {
+		t.Errorf("Get commit-0004 = %+v, %v", r, ok)
+	}
+	if _, ok := sn.Get("no-such-commit"); ok {
+		t.Error("Get returned a record for an unknown id")
+	}
+	if recs := sn.CVE("CVE-2020-00002"); len(recs) != 1 || recs[0].ID != "commit-0004" {
+		t.Errorf("CVE lookup = %+v", recs)
+	}
+	if recs := sn.CVE("CVE-1999-99999"); len(recs) != 0 {
+		t.Errorf("unknown CVE returned %d records", len(recs))
+	}
+	if !reflect.DeepEqual(sn.Distribution(), ds.Distribution()) {
+		t.Error("distribution diverges from the dataset's")
+	}
+}
+
+func TestStoreDuplicateIDsFirstWins(t *testing.T) {
+	ds := &patchdb.Dataset{
+		NVD:  []patchdb.Record{{ID: "x", Source: "nvd", Security: true, Text: "first"}},
+		Wild: []patchdb.Record{{ID: "x", Source: "wild", Security: true, Text: "second"}},
+	}
+	sn := New(2, nil).Load(ds)
+	if sn.Duplicates() != 1 {
+		t.Errorf("duplicates = %d, want 1", sn.Duplicates())
+	}
+	if sn.Records() != 1 {
+		t.Errorf("records = %d, want 1", sn.Records())
+	}
+	r, _ := sn.Get("x")
+	if r.Text != "first" {
+		t.Errorf("duplicate resolution kept %q, want the first occurrence", r.Text)
+	}
+}
+
+// TestShardCountInvariance: every query must return identical results at 1,
+// 4, and 16 shards.
+func TestShardCountInvariance(t *testing.T) {
+	ds := testDataset(200, "v1")
+	secTrue := true
+	queries := []Query{
+		{},
+		{Source: "nvd"},
+		{Source: "wild", Security: &secTrue},
+		{Pattern: 3},
+		{Repo: "repo-2-v1"},
+		{Limit: 7},
+		{Cursor: "commit-0050", Limit: 10},
+	}
+	var want []Page
+	for qi, shards := range []int{1, 4, 16} {
+		sn := New(shards, nil).Load(ds)
+		for i, q := range queries {
+			page, err := sn.List(q)
+			if err != nil {
+				t.Fatalf("shards %d query %d: %v", shards, i, err)
+			}
+			if qi == 0 {
+				want = append(want, page)
+				continue
+			}
+			if !reflect.DeepEqual(page.Records, want[i].Records) || page.NextCursor != want[i].NextCursor {
+				t.Errorf("shards %d query %d: results diverge from 1-shard run", shards, i)
+			}
+		}
+		// Point lookups too.
+		for _, id := range []string{"commit-0000", "commit-0123", "missing"} {
+			r, ok := sn.Get(id)
+			r1, ok1 := New(1, nil).Load(ds).Get(id)
+			if ok != ok1 || r != r1 {
+				t.Errorf("shards %d: Get(%q) diverges", shards, id)
+			}
+		}
+	}
+}
+
+// TestPaginationWalksEverything: following cursors visits every matching
+// record exactly once, in ID order.
+func TestPaginationWalksEverything(t *testing.T) {
+	ds := testDataset(137, "v1")
+	sn := New(4, nil).Load(ds)
+	seen := map[string]bool{}
+	q := Query{Limit: 10}
+	prev := ""
+	for {
+		page, err := sn.List(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range page.Records {
+			if seen[r.ID] {
+				t.Fatalf("record %s returned twice", r.ID)
+			}
+			if r.ID <= prev {
+				t.Fatalf("record %s out of order after %s", r.ID, prev)
+			}
+			prev = r.ID
+			seen[r.ID] = true
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		q.Cursor = page.NextCursor
+	}
+	if len(seen) != 137 {
+		t.Errorf("pagination visited %d records, want 137", len(seen))
+	}
+}
+
+// TestPaginationCursorStableAcrossReload: a cursor taken from one snapshot
+// resumes at the same position after the store reloads the same dataset —
+// no skipped and no duplicated records.
+func TestPaginationCursorStableAcrossReload(t *testing.T) {
+	st := New(4, nil)
+	st.Load(testDataset(100, "v1"))
+
+	first, err := st.Snapshot().List(Query{Limit: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.NextCursor == "" {
+		t.Fatal("first page has no next cursor")
+	}
+
+	// Reload (same content, new snapshot/version), then continue the walk.
+	sn2 := st.Load(testDataset(100, "v1"))
+	if sn2.Version != 2 {
+		t.Fatalf("reload version = %d, want 2", sn2.Version)
+	}
+	rest, err := sn2.List(Query{Cursor: first.NextCursor, Limit: MaxLimit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(first.Records) + len(rest.Records); got != 100 {
+		t.Errorf("pages across reload cover %d records, want 100", got)
+	}
+	if rest.Records[0].ID <= first.Records[len(first.Records)-1].ID {
+		t.Error("continuation page overlaps the pre-reload page")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	sn := New(1, nil).Load(testDataset(10, "v1"))
+	for _, q := range []Query{
+		{Limit: -1},
+		{Limit: MaxLimit + 1},
+		{Source: "github"},
+		{Pattern: patchdb.Pattern(patchdb.NumPatterns + 1)},
+		{Pattern: -1},
+	} {
+		if _, err := sn.List(q); err == nil {
+			t.Errorf("query %+v accepted", q)
+		}
+	}
+	// Default limit fills in.
+	page, err := sn.List(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Records) != 10 {
+		t.Errorf("default query returned %d records", len(page.Records))
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ds.json")
+	ds := testDataset(20, "v1")
+	if err := ds.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	st := New(4, nil)
+	sn, err := st.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Records() != 20 {
+		t.Errorf("records = %d, want 20", sn.Records())
+	}
+	if _, err := st.LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+// TestSnapshotSwapRace drives concurrent readers through Get/List/Stats
+// while the store flips between two dataset versions. Under -race this
+// proves the swap is safe; the assertions prove isolation: every observed
+// page is internally consistent (all records from one version, matching the
+// snapshot's version parity), never a mix.
+func TestSnapshotSwapRace(t *testing.T) {
+	v1 := testDataset(120, "v1")
+	v2 := testDataset(120, "v2")
+	st := New(4, nil)
+	st.Load(v1)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn := st.Snapshot()
+				// Odd versions hold v1 ("-v1" repos), even versions v2.
+				wantTag := "-v1"
+				if sn.Version%2 == 0 {
+					wantTag = "-v2"
+				}
+				page, err := sn.List(Query{Limit: 40})
+				if err != nil {
+					t.Errorf("list: %v", err)
+					return
+				}
+				if len(page.Records) != 40 {
+					t.Errorf("page has %d records, want 40", len(page.Records))
+					return
+				}
+				for _, r := range page.Records {
+					if r.Repo[len(r.Repo)-3:] != wantTag {
+						t.Errorf("snapshot v%d contains record from %s", sn.Version, r.Repo)
+						return
+					}
+				}
+				if r, ok := sn.Get(fmt.Sprintf("commit-%04d", i%120)); !ok || r.Repo[len(r.Repo)-3:] != wantTag {
+					t.Errorf("snapshot v%d Get sees %+v (ok=%v)", sn.Version, r, ok)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			st.Load(v2)
+		} else {
+			st.Load(v1)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
