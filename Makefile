@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-nearestlink bench-serve verify verify-chaos verify-telemetry verify-serve ci clean
+.PHONY: build test vet lint race bench bench-nearestlink bench-serve verify verify-chaos verify-telemetry verify-serve verify-resume ci clean
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,9 @@ vet:
 # cmd/patchdb-lint): determinism (no wall clocks / global rand / ordered map
 # iteration in the deterministic build packages), ctxloop (worker loops
 # honor ctx cancellation), errcanon (errors.Is + %w for canonical errors),
-# and telemetrysafe (nil-guarded *telemetry.Hub field access). Suppress an
-# intentional finding with `//lint:ignore <check> <reason>`.
+# telemetrysafe (nil-guarded *telemetry.Hub field access), and atomicwrite
+# (artifact files written via internal/atomicio, never direct os writes).
+# Suppress an intentional finding with `//lint:ignore <check> <reason>`.
 lint:
 	$(GO) run ./cmd/patchdb-lint ./...
 
@@ -61,15 +62,24 @@ verify-telemetry:
 verify-serve:
 	$(GO) test -race -count=1 ./internal/store/ ./internal/experiments/servebench/
 
+# verify-resume runs the crash-safety suite under the race detector: the
+# checkpoint journal and atomic-write primitives, the crawled-patch
+# round-trip, and the kill-and-resume chaos harness (every stage boundary x
+# worker counts 1/2/8, both fault placements, cross-worker resume — resumed
+# output must be bit-identical to an uninterrupted build).
+verify-resume:
+	$(GO) test -race -count=1 ./internal/atomicio/ ./internal/checkpoint/ ./internal/experiments/resumebench/
+
 # verify is the full pre-merge tier: verify = vet + lint + chaos +
-# telemetry + serve + race — stock and custom static analysis, the
-# fault-injection, telemetry, and serving suites, and the race-enabled test
-# suite (which subsumes the plain test run).
-verify: vet lint verify-chaos verify-telemetry verify-serve race
+# telemetry + serve + resume + race — stock and custom static analysis, the
+# fault-injection, telemetry, serving, and crash-safety suites, and the
+# race-enabled test suite (which subsumes the plain test run).
+verify: vet lint verify-chaos verify-telemetry verify-serve verify-resume race
 
 # ci is the fast merge gate mirrored by .github/workflows/ci.yml and
-# scripts/ci.sh: build, both static-analysis tiers, and the plain test run.
-ci: build vet lint test
+# scripts/ci.sh: build, both static-analysis tiers, the plain test run, and
+# the race-enabled crash-safety suite.
+ci: build vet lint test verify-resume
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"patchdb/internal/checkpoint"
 	"patchdb/internal/core/augment"
 	"patchdb/internal/core/oversample"
 	"patchdb/internal/corpus"
@@ -32,6 +33,7 @@ const (
 	StageSearch     = pipeline.StageSearch
 	StageAugment    = pipeline.StageAugment
 	StageSynthesize = pipeline.StageSynthesize
+	StageCheckpoint = pipeline.StageCheckpoint
 )
 
 // StageStat is one stage's accumulated wall-clock time and item count.
@@ -90,6 +92,25 @@ type BuilderConfig struct {
 	// BuildReport.Degraded (0 = default 0.25; negative = never fail — the
 	// quarantine is reported and the build proceeds).
 	MaxCrawlFailureRatio float64
+	// CheckpointDir, when non-empty, enables the crash-safe build journal:
+	// Build writes a checkpoint (internal/checkpoint) at every stage
+	// boundary — post-crawl, post-seed-extraction, after each augmentation
+	// pool, and post-oversampling — so a killed build can be resumed. The
+	// directory is created if needed; a fresh (non-Resume) build truncates
+	// any journal already there.
+	CheckpointDir string
+	// Resume loads the journal in CheckpointDir and skips every stage it
+	// records as completed, producing a dataset bit-identical to an
+	// uninterrupted run — including the crawl's quarantine list and
+	// Degraded verdict, which are restored rather than re-derived. The
+	// journal's seed and config fingerprint must match this config (Workers
+	// may differ: output is worker-invariant); a mismatch fails with
+	// ErrCheckpointMismatch. Requires CheckpointDir.
+	Resume bool
+	// CheckpointFault, when non-nil, injects a deterministic crash
+	// (ErrInjectedCrash) at one stage's checkpoint write — the chaos hook
+	// the kill-and-resume harness drives. Ignored without CheckpointDir.
+	CheckpointFault *CheckpointFault
 	// Progress, when non-nil, observes pipeline advancement per stage. It
 	// is called synchronously from pipeline goroutines and must be cheap
 	// and safe for concurrent use.
@@ -166,6 +187,9 @@ type BuildReport struct {
 	Search NearestLinkTotals
 	// HumanVerifications counts simulated manual inspections.
 	HumanVerifications int
+	// ResumedFrom names the checkpoint stage this build resumed from — the
+	// last completed stage in the journal — or "" for a from-scratch run.
+	ResumedFrom string
 	// Stages is the per-stage wall-clock and item accounting of the run,
 	// in pipeline order.
 	Stages []StageStat
@@ -189,11 +213,18 @@ type BuildReport struct {
 //
 // The returned dataset mirrors the paper's structure: NVD-based, wild-based,
 // cleaned non-security, and synthetic components.
+//
+// With CheckpointDir set, Build journals its state at every stage boundary
+// (internal/checkpoint) and, with Resume, skips stages the journal already
+// holds — the resumed dataset is bit-identical to an uninterrupted run's.
 func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, error) {
 	if len(cfg.RoundsPerPool) != 0 && len(cfg.WildPools) != 0 &&
 		len(cfg.RoundsPerPool) != len(cfg.WildPools) {
 		return nil, nil, fmt.Errorf("build: RoundsPerPool has %d entries for %d wild pools",
 			len(cfg.RoundsPerPool), len(cfg.WildPools))
+	}
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return nil, nil, fmt.Errorf("build: Resume requires CheckpointDir")
 	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed + 9000))
@@ -205,6 +236,31 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 	ctx, buildSpan := telemetry.Start(ctx, "build")
 	defer buildSpan.End()
 	metrics := pipeline.NewMetrics(hub.Registry)
+
+	// The checkpoint journal (nil when CheckpointDir is unset). The plan
+	// fixes stage names up front; the fingerprint binds the journal to every
+	// output-affecting config field so Resume refuses a mismatched config.
+	plan := stagePlan(cfg)
+	planIdx := make(map[string]int, len(plan))
+	for i, s := range plan {
+		planIdx[s] = i
+	}
+	var jr *checkpoint.Journal
+	if cfg.CheckpointDir != "" {
+		fp, err := checkpoint.Fingerprint(fingerprintOf(cfg))
+		if err != nil {
+			return nil, nil, fmt.Errorf("build: %w", err)
+		}
+		jr, err = checkpoint.Open(cfg.CheckpointDir, checkpoint.Options{
+			Seed:        cfg.Seed,
+			Fingerprint: fp,
+			Resume:      cfg.Resume,
+			Fault:       cfg.CheckpointFault,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("build: %w", err)
+		}
+	}
 
 	gen := corpus.NewGenerator(corpus.Config{Seed: cfg.Seed})
 	nvdCommits := gen.GenerateNVD(cfg.NVDSize)
@@ -225,121 +281,210 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 	}
 	verifier := oracle.New(labels, oracle.WithSeed(cfg.Seed))
 
-	// Serve the NVD and crawl it, exercising the real HTTP code path. With
-	// FaultRate set, the service is wrapped in the seed-deterministic fault
-	// injector so the crawl's resilience machinery is exercised end to end.
-	svc := nvd.NewService(gen.Store())
-	if cfg.FaultRate > 0 {
-		svc.Wrap = faults.New(faults.Config{
-			Seed:       cfg.Seed,
-			Routes:     []faults.Route{{Rate: cfg.FaultRate}},
-			RetryAfter: 20 * time.Millisecond,
-			HangFor:    25 * time.Millisecond,
-			Registry:   hub.Registry,
-		}).Wrap
-	}
-	baseURL, err := svc.Start()
-	if err != nil {
-		return nil, nil, fmt.Errorf("build: %w", err)
-	}
-	defer svc.Close()
-	for _, lc := range nvdCommits {
-		svc.AddEntry(nvd.Entry{
-			ID:          lc.CVE,
-			Description: lc.Commit.Message,
-			Published:   lc.Commit.Date,
-			Severity:    pickSeverity(rng),
-			References: []nvd.Reference{{
-				URL:  nvd.GitHubCommitURL(baseURL, lc.Commit.Repo, lc.Commit.Hash),
-				Tags: []string{"Patch", "Third Party Advisory"},
-			}},
-		})
-	}
-	// Entries with no usable patch link (the NVD's missing references).
-	for i := 0; i < int(float64(cfg.NVDSize)*cfg.FeedNoise); i++ {
-		svc.AddEntry(nvd.Entry{
-			ID:          fmt.Sprintf("CVE-%d-%05d", 2002+rng.Intn(18), 90000+i),
-			Description: "vulnerability without patch reference",
-			References: []nvd.Reference{{
-				URL:  "https://advisories.example.com/a/" + fmt.Sprint(i),
-				Tags: []string{"Vendor Advisory"},
-			}},
-		})
-	}
-	crawler := &nvd.Crawler{
-		BaseURL:     baseURL,
-		Concurrency: cfg.Workers,
-		Seed:        cfg.Seed,
-		MaxAttempts: cfg.MaxRetries + 1,
-		// The upstream is loopback: short backoff keeps fault-injected
-		// builds fast while still exercising the schedule.
-		RetryBaseDelay: 10 * time.Millisecond,
-		RetryMaxDelay:  250 * time.Millisecond,
-	}
-	if cfg.Progress != nil {
-		crawler.Progress = func(done, total int) {
-			cfg.Progress(StageCrawl, done, total)
-		}
-	}
-	stopCrawl := metrics.Timer(StageCrawl)
-	crawled, crawlStats, err := crawler.Crawl(ctx)
-	if err != nil {
-		return nil, nil, fmt.Errorf("build: crawl: %w", err)
-	}
-	stopCrawl(crawlStats.Downloaded)
-
-	report := &BuildReport{Crawl: crawlStats}
-	// Graceful degradation: quarantined downloads within the threshold are
-	// a warning (Degraded); beyond it the build fails rather than silently
-	// shipping a hollowed-out dataset.
-	if total := crawlStats.Downloaded + crawlStats.Quarantined; total > 0 && crawlStats.Quarantined > 0 {
-		ratio := float64(crawlStats.Quarantined) / float64(total)
-		if ratio > cfg.MaxCrawlFailureRatio {
-			return nil, nil, fmt.Errorf("build: crawl degraded beyond threshold: %d/%d downloads quarantined (%.1f%% > %.1f%%)",
-				crawlStats.Quarantined, total, 100*ratio, 100*cfg.MaxCrawlFailureRatio)
-		}
-		report.Degraded = true
-	}
+	report := &BuildReport{}
 	ds := &Dataset{}
+	var seedFeatures [][]float64
+	var crawled []*nvd.CrawledPatch
+	round := 1
 
-	// Total extraction workload: the crawled seed plus every pool commit.
+	// Resume: load the last completed stage's cumulative state and restore
+	// everything downstream stages read — dataset, crawl stats (including
+	// the quarantine list and Degraded verdict), seed features, round
+	// accounting, and the oracle's inspection counter.
+	resumeIdx := -1
+	if jr != nil && cfg.Resume {
+		if last := jr.LastCompleted(); last != "" {
+			idx, ok := planIdx[last]
+			if !ok {
+				return nil, nil, fmt.Errorf("build: resume: journaled stage %q is not in this build's plan", last)
+			}
+			var st buildState
+			if err := jr.Load(ctx, last, &st); err != nil {
+				return nil, nil, fmt.Errorf("build: resume: %w", err)
+			}
+			resumeIdx = idx
+			report.ResumedFrom = last
+			report.Crawl = st.Crawl
+			report.Degraded = st.Degraded
+			report.Rounds = st.Rounds
+			report.Search = st.Search
+			if st.Dataset != nil {
+				ds = st.Dataset
+			}
+			seedFeatures = st.SeedFeatures
+			round = st.NextRound
+			verifier.SetInspected(st.HumanVerifications)
+			if len(st.Crawled) > 0 {
+				restored, err := nvd.RestorePatches(st.Crawled)
+				if err != nil {
+					return nil, nil, fmt.Errorf("build: resume: %w", err)
+				}
+				crawled = restored
+			}
+		}
+	}
+	// stageDone reports whether the journal already holds this stage's
+	// output (always false without Resume).
+	stageDone := func(stage string) bool {
+		idx, ok := planIdx[stage]
+		return ok && idx <= resumeIdx
+	}
+	var ckptNotify *pipeline.Notifier
+	if jr != nil {
+		ckptNotify = pipeline.NewNotifier(StageCheckpoint, len(plan), cfg.Progress)
+	}
+	// writeCkpt journals the build's cumulative state at a stage boundary.
+	// An injected CheckpointFault surfaces here as ErrInjectedCrash.
+	writeCkpt := func(stage string) error {
+		if jr == nil {
+			return nil
+		}
+		stop := metrics.Timer(StageCheckpoint)
+		err := jr.Write(ctx, stage, buildState{
+			Stage:              stage,
+			Dataset:            ds,
+			Crawl:              report.Crawl,
+			Degraded:           report.Degraded,
+			Crawled:            nvd.SavePatches(crawled),
+			SeedFeatures:       seedFeatures,
+			Rounds:             report.Rounds,
+			Search:             report.Search,
+			HumanVerifications: verifier.Inspected(),
+			NextRound:          round,
+		})
+		stop(1)
+		if err != nil {
+			return fmt.Errorf("build: checkpoint stage %q: %w", stage, err)
+		}
+		ckptNotify.Done(1)
+		return nil
+	}
+
+	noiseCount := int(float64(cfg.NVDSize) * cfg.FeedNoise)
+	if stageDone(ckptStageCrawl) {
+		jr.NoteSkip(ctx, ckptStageCrawl)
+		// Burn the feed's rng draws so later rng consumers see the same
+		// stream an uninterrupted build would.
+		seedFeed(nil, "", nvdCommits, noiseCount, rng)
+	} else {
+		// Serve the NVD and crawl it, exercising the real HTTP code path.
+		// With FaultRate set, the service is wrapped in the
+		// seed-deterministic fault injector so the crawl's resilience
+		// machinery is exercised end to end. The service's lifetime is the
+		// crawl: a closure scopes the Close.
+		if err := func() error {
+			svc := nvd.NewService(gen.Store())
+			if cfg.FaultRate > 0 {
+				svc.Wrap = faults.New(faults.Config{
+					Seed:       cfg.Seed,
+					Routes:     []faults.Route{{Rate: cfg.FaultRate}},
+					RetryAfter: 20 * time.Millisecond,
+					HangFor:    25 * time.Millisecond,
+					Registry:   hub.Registry,
+				}).Wrap
+			}
+			baseURL, err := svc.Start()
+			if err != nil {
+				return err
+			}
+			defer svc.Close()
+			seedFeed(svc, baseURL, nvdCommits, noiseCount, rng)
+			crawler := &nvd.Crawler{
+				BaseURL:     baseURL,
+				Concurrency: cfg.Workers,
+				Seed:        cfg.Seed,
+				MaxAttempts: cfg.MaxRetries + 1,
+				// The upstream is loopback: short backoff keeps
+				// fault-injected builds fast while still exercising the
+				// schedule.
+				RetryBaseDelay: 10 * time.Millisecond,
+				RetryMaxDelay:  250 * time.Millisecond,
+			}
+			if cfg.Progress != nil {
+				crawler.Progress = func(done, total int) {
+					cfg.Progress(StageCrawl, done, total)
+				}
+			}
+			stopCrawl := metrics.Timer(StageCrawl)
+			crawled, report.Crawl, err = crawler.Crawl(ctx)
+			if err != nil {
+				return fmt.Errorf("crawl: %w", err)
+			}
+			stopCrawl(report.Crawl.Downloaded)
+			// Graceful degradation: quarantined downloads within the
+			// threshold are a warning (Degraded); beyond it the build fails
+			// rather than silently shipping a hollowed-out dataset.
+			if total := report.Crawl.Downloaded + report.Crawl.Quarantined; total > 0 && report.Crawl.Quarantined > 0 {
+				ratio := float64(report.Crawl.Quarantined) / float64(total)
+				if ratio > cfg.MaxCrawlFailureRatio {
+					return fmt.Errorf("crawl degraded beyond threshold: %d/%d downloads quarantined (%.1f%% > %.1f%%)",
+						report.Crawl.Quarantined, total, 100*ratio, 100*cfg.MaxCrawlFailureRatio)
+				}
+				report.Degraded = true
+			}
+			return nil
+		}(); err != nil {
+			return nil, nil, fmt.Errorf("build: %w", err)
+		}
+		// The checkpoint lands after the threshold check: a build that
+		// failed it must re-crawl on the next attempt, not resume into a
+		// hollowed-out dataset.
+		if err := writeCkpt(ckptStageCrawl); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Total extraction workload: the crawled seed plus every pool commit
+	// still to be processed (resumed stages extract nothing).
 	extractTotal := len(crawled)
-	for _, pool := range pools {
-		extractTotal += len(pool)
+	for i, pool := range pools {
+		if !stageDone(ckptStageAugment(i)) {
+			extractTotal += len(pool)
+		}
 	}
 	extractNotify := pipeline.NewNotifier(StageExtract, extractTotal, cfg.Progress)
 
-	// NVD-based dataset from the crawled patches; feature extraction runs
-	// on the worker pool, record assembly stays in feed order.
-	stopExtract := metrics.Timer(StageExtract)
-	_, seedSpan := telemetry.Start(ctx, "extract.seed")
-	seedSpan.SetAttr("items", len(crawled))
-	crawledFeatures, err := mapConcurrently(ctx, len(crawled), cfg.Workers, extractNotify,
-		func(i int) []float64 { return features.Extract(crawled[i].Patch, 0) })
-	seedSpan.End()
-	if err != nil {
-		return nil, nil, fmt.Errorf("build: extract nvd features: %w", err)
-	}
-	stopExtract(len(crawled))
-	seedFeatures := make([][]float64, 0, len(crawled))
-	for i, cp := range crawled {
-		lc, ok := byHash[cp.Hash]
-		if !ok {
-			continue
+	if stageDone(ckptStageSeed) {
+		jr.NoteSkip(ctx, ckptStageSeed)
+	} else {
+		// NVD-based dataset from the crawled patches; feature extraction
+		// runs on the worker pool, record assembly stays in feed order.
+		stopExtract := metrics.Timer(StageExtract)
+		_, seedSpan := telemetry.Start(ctx, "extract.seed")
+		seedSpan.SetAttr("items", len(crawled))
+		crawledFeatures, err := mapConcurrently(ctx, len(crawled), cfg.Workers, extractNotify,
+			func(i int) []float64 { return features.Extract(crawled[i].Patch, 0) })
+		seedSpan.End()
+		if err != nil {
+			return nil, nil, fmt.Errorf("build: extract nvd features: %w", err)
 		}
-		ds.NVD = append(ds.NVD, Record{
-			ID: cp.Hash, Repo: cp.Repo, CVE: cp.CVE, Security: true,
-			Pattern: lc.Pattern, Source: "nvd", Text: diff.Format(cp.Patch),
-		})
-		seedFeatures = append(seedFeatures, crawledFeatures[i])
-	}
+		stopExtract(len(crawled))
+		seedFeatures = make([][]float64, 0, len(crawled))
+		for i, cp := range crawled {
+			lc, ok := byHash[cp.Hash]
+			if !ok {
+				continue
+			}
+			ds.NVD = append(ds.NVD, Record{
+				ID: cp.Hash, Repo: cp.Repo, CVE: cp.CVE, Security: true,
+				Pattern: lc.Pattern, Source: "nvd", Text: diff.Format(cp.Patch),
+			})
+			seedFeatures = append(seedFeatures, crawledFeatures[i])
+		}
 
-	// Initial cleaned non-security dataset.
-	for _, lc := range nonSec {
-		ds.NonSecurity = append(ds.NonSecurity, Record{
-			ID: lc.Commit.Hash, Repo: lc.Commit.Repo, Security: false,
-			Source: "wild", Text: diff.Format(lc.Commit.Patch()),
-		})
+		// Initial cleaned non-security dataset.
+		for _, lc := range nonSec {
+			ds.NonSecurity = append(ds.NonSecurity, Record{
+				ID: lc.Commit.Hash, Repo: lc.Commit.Repo, Security: false,
+				Source: "wild", Text: diff.Format(lc.Commit.Patch()),
+			})
+		}
+		// The crawl output is folded into the dataset now; later
+		// checkpoints journal it empty.
+		crawled = nil
+		if err := writeCkpt(ckptStageSeed); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	// Wild-based dataset via augmentation rounds.
@@ -348,8 +493,11 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 		totalRounds += r
 	}
 	augmentNotify := pipeline.NewNotifier(StageAugment, totalRounds, cfg.Progress)
-	round := 1
 	for i, pool := range pools {
+		if stageDone(ckptStageAugment(i)) {
+			jr.NoteSkip(ctx, ckptStageAugment(i))
+			continue
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, nil, fmt.Errorf("build: canceled before pool %d: %w", i+1, err)
 		}
@@ -409,11 +557,16 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 				Source: "wild", Text: diff.Format(lc.Commit.Patch()),
 			})
 		}
+		if err := writeCkpt(ckptStageAugment(i)); err != nil {
+			return nil, nil, err
+		}
 	}
 	report.HumanVerifications = verifier.Inspected()
 
 	// Synthetic dataset via source-level oversampling.
-	if cfg.SyntheticPerPatch > 0 {
+	if cfg.SyntheticPerPatch > 0 && stageDone(ckptStageOversample) {
+		jr.NoteSkip(ctx, ckptStageOversample)
+	} else if cfg.SyntheticPerPatch > 0 {
 		synthTotal := len(ds.NVD) + len(ds.Wild) + len(ds.NonSecurity)
 		synthNotify := pipeline.NewNotifier(StageSynthesize, synthTotal, cfg.Progress)
 		stopSynth := metrics.Timer(StageSynthesize)
@@ -456,6 +609,9 @@ func Build(ctx context.Context, cfg BuilderConfig) (*Dataset, *BuildReport, erro
 		stopSynth(len(ds.Synthetic))
 		synthSpan.SetAttr("items", len(ds.Synthetic))
 		synthSpan.End()
+		if err := writeCkpt(ckptStageOversample); err != nil {
+			return nil, nil, err
+		}
 	}
 	report.Stages = metrics.Snapshot()
 	buildSpan.End()

@@ -6,10 +6,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"os"
 	"strings"
 	"time"
 
+	"patchdb/internal/atomicio"
 	"patchdb/internal/experiments"
 
 	"patchdb/internal/core/nearestlink"
@@ -194,7 +194,7 @@ func runNearestLink(scale experiments.Scale, workers int) (fmt.Stringer, error) 
 	if err != nil {
 		return nil, err
 	}
-	if err := os.WriteFile(nearestLinkJSON, append(data, '\n'), 0o644); err != nil {
+	if err := atomicio.WriteFile(nearestLinkJSON, append(data, '\n')); err != nil {
 		return nil, fmt.Errorf("write %s: %w", nearestLinkJSON, err)
 	}
 	return res, nil

@@ -3,10 +3,10 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
+	"patchdb/internal/atomicio"
 	"patchdb/internal/experiments"
 	"patchdb/internal/experiments/servebench"
 )
@@ -50,7 +50,7 @@ func runServe(scale experiments.Scale, workers int) (fmt.Stringer, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.WriteFile(serveJSON, append(data, '\n'), 0o644); err != nil {
+	if err := atomicio.WriteFile(serveJSON, append(data, '\n')); err != nil {
 		return nil, fmt.Errorf("write %s: %w", serveJSON, err)
 	}
 	return res, nil

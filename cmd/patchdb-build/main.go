@@ -8,6 +8,8 @@
 //	patchdb-build -workers 16 -progress          # parallel run with a live stage view
 //	patchdb-build -feed-noise=-1 -ratio-threshold=-1  # disable noise and early exit
 //	patchdb-build -fault-rate 0.3 -max-retries 3 # chaos run: inject crawl faults
+//	patchdb-build -checkpoint-dir ckpt           # journal every stage boundary
+//	patchdb-build -checkpoint-dir ckpt -resume   # resume a killed build from its journal
 //	patchdb-build -telemetry-out patchdb-run-report.json  # write the RunReport artifact
 //	patchdb-build -serve-metrics 127.0.0.1:9090  # scrape /metrics + pprof during the build
 package main
@@ -50,6 +52,8 @@ func run() error {
 		failRatio = flag.Float64("max-failure-ratio", 0, "quarantined-download ratio that fails the build (0 = default 0.25, negative = never fail)")
 		telOut    = flag.String("telemetry-out", "", "write the end-of-run RunReport JSON to this path (empty = disabled; conventionally "+patchdb.DefaultRunReportPath+")")
 		telServe  = flag.String("serve-metrics", "", "serve /metrics and /debug/pprof on this address for the duration of the build (empty = disabled)")
+		ckptDir   = flag.String("checkpoint-dir", "", "journal build state at every stage boundary into this directory (empty = disabled)")
+		resume    = flag.Bool("resume", false, "resume from the journal in -checkpoint-dir, skipping completed stages (refuses a journal from a different config)")
 	)
 	flag.Parse()
 
@@ -75,6 +79,8 @@ func run() error {
 		FaultRate:            *faultRate,
 		MaxRetries:           *retries,
 		MaxCrawlFailureRatio: *failRatio,
+		CheckpointDir:        *ckptDir,
+		Resume:               *resume,
 	}
 	if *progress {
 		cfg.Progress = progressRenderer(os.Stderr)
@@ -101,6 +107,9 @@ func run() error {
 		return err
 	}
 
+	if report.ResumedFrom != "" {
+		fmt.Printf("resumed from checkpoint stage %q\n", report.ResumedFrom)
+	}
 	fmt.Printf("crawl: %d entries, %d with patch refs, %d downloaded, %d errors\n",
 		report.Crawl.Entries, report.Crawl.WithPatchRefs, report.Crawl.Downloaded, report.Crawl.Errors)
 	if report.Crawl.Retries > 0 || report.Crawl.Quarantined > 0 {

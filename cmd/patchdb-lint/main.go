@@ -1,5 +1,6 @@
 // Command patchdb-lint runs patchdb's custom static-analysis suite — the
-// determinism, ctxloop, errcanon, and telemetrysafe analyzers — over the
+// determinism, ctxloop, errcanon, telemetrysafe, and atomicwrite analyzers
+// — over the
 // given packages and exits non-zero on findings. It is the machine check
 // behind `make lint` (and therefore `make verify`): the invariants PRs 1-4
 // established by convention fail the build the moment a change regresses

@@ -16,6 +16,13 @@
 // The process also serves the telemetry hub's Prometheus-text /metrics and
 // the /debug/pprof profiling endpoints on the same address, and shuts down
 // gracefully on interrupt (in-flight requests drain before exit).
+//
+// The serving path is hardened against bad inputs and bad luck: a reload
+// that fails (missing or corrupt artifact) keeps the previous snapshot
+// serving and surfaces the failure on /healthz as last_reload_error and in
+// the patchdb_store_reload_failures_total counter; every API handler runs
+// under panic recovery (500 + patchdb_store_http_panics_total, the process
+// survives) and a per-request deadline (503 once exceeded).
 package main
 
 import (

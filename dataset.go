@@ -6,7 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
+
+	"patchdb/internal/atomicio"
 )
 
 // Record is one patch in a PatchDB dataset.
@@ -80,31 +81,12 @@ func (d *Dataset) WriteJSON(w io.Writer) error {
 	return nil
 }
 
-// SaveJSON writes the dataset to a file atomically: the document is written
-// to a same-directory temp file, synced, closed, and renamed over path, so a
-// crash or full disk mid-write can never leave a truncated artifact where a
-// previous good one stood.
+// SaveJSON writes the dataset to a file atomically via the shared
+// temp+fsync+rename helper (internal/atomicio), so a crash or full disk
+// mid-write can never leave a truncated artifact where a previous good one
+// stood.
 func (d *Dataset) SaveJSON(path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".patchdb-*.json")
-	if err != nil {
-		return fmt.Errorf("save dataset: %w", err)
-	}
-	if err := d.WriteJSON(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("save dataset: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("save dataset: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := atomicio.WriteTo(path, d.WriteJSON); err != nil {
 		return fmt.Errorf("save dataset: %w", err)
 	}
 	return nil

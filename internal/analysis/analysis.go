@@ -12,6 +12,8 @@
 //     with %w, never compared or reformatted away
 //   - telemetrysafe: possibly-nil *telemetry.Hub values are guarded before
 //     their fields are dereferenced
+//   - atomicwrite: artifact-writing packages persist files through
+//     internal/atomicio's temp+fsync+rename, never direct os writes
 //
 // The cmd/patchdb-lint CLI runs the suite over ./... and exits non-zero on
 // findings, making the invariants part of `make verify`.
@@ -39,7 +41,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, CtxLoop, ErrCanon, TelemetrySafe}
+	return []*Analyzer{Determinism, CtxLoop, ErrCanon, TelemetrySafe, AtomicWrite}
 }
 
 // Pass carries one analyzer's view of one package.

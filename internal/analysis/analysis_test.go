@@ -123,6 +123,7 @@ func TestDeterministicPath(t *testing.T) {
 		"patchdb/internal/pipeline",
 		"patchdb/internal/nvd",
 		"patchdb/internal/corpus",
+		"patchdb/internal/checkpoint",
 	}
 	no := []string{
 		"patchdb/cmd/patchdb-bench",
@@ -140,6 +141,33 @@ func TestDeterministicPath(t *testing.T) {
 	for _, p := range no {
 		if deterministicPath(p) {
 			t.Errorf("deterministicPath(%q) = true, want false", p)
+		}
+	}
+}
+
+func TestArtifactWriterPath(t *testing.T) {
+	yes := []string{
+		"patchdb",
+		"patchdb/internal/telemetry",
+		"patchdb/internal/store",
+		"patchdb/internal/checkpoint",
+		"patchdb/cmd/patchdb-build",
+		"patchdb/cmd/patchdb-serve",
+	}
+	no := []string{
+		"patchdb/internal/atomicio", // the one sanctioned direct writer
+		"patchdb/internal/core/augment",
+		"patchdb/internal/nvd",
+		"patchdb/internal/experiments",
+	}
+	for _, p := range yes {
+		if !artifactWriterPath(p) {
+			t.Errorf("artifactWriterPath(%q) = false, want true", p)
+		}
+	}
+	for _, p := range no {
+		if artifactWriterPath(p) {
+			t.Errorf("artifactWriterPath(%q) = true, want false", p)
 		}
 	}
 }

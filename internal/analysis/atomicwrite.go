@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// artifactWriterPath reports whether an import path belongs to the packages
+// that persist artifacts a crash or a concurrent reader could observe
+// half-written: the root package (dataset JSON), the telemetry layer (run
+// reports), the serving store, the checkpoint journal, and every CLI. These
+// must route file writes through internal/atomicio's temp+fsync+rename;
+// internal/atomicio itself is the one sanctioned direct writer and is
+// deliberately outside this set.
+func artifactWriterPath(path string) bool {
+	switch path {
+	case "patchdb",
+		"patchdb/internal/telemetry",
+		"patchdb/internal/store":
+		return true
+	}
+	return strings.HasPrefix(path, "patchdb/internal/checkpoint") ||
+		strings.HasPrefix(path, "patchdb/cmd/")
+}
+
+// bannedOSWriters maps the os package's file-creating functions to the
+// remedy named in the diagnostic. Reads (os.Open, os.ReadFile) are fine;
+// only creation/truncation can leave a torn artifact behind.
+var bannedOSWriters = map[string]string{
+	"Create":     "use atomicio.WriteTo",
+	"WriteFile":  "use atomicio.WriteFile",
+	"OpenFile":   "use atomicio.WriteTo",
+	"CreateTemp": "use atomicio.WriteTo (it owns the temp-file dance)",
+}
+
+// AtomicWrite enforces the crash-safety contract of artifact-writing
+// packages: a reader (patchdb-serve reloading, a resumed build loading its
+// journal) must never observe a half-written file, so every artifact write
+// goes through internal/atomicio's write-to-temp, fsync, rename sequence.
+// Direct os.Create / os.WriteFile / os.OpenFile / os.CreateTemp calls in
+// those packages are flagged. Test files are exempt — tests routinely plant
+// fixture (and deliberately corrupt) files with os.WriteFile.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "artifact files must be written via internal/atomicio (temp+fsync+rename), never direct os writes",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(pass *Pass) {
+	if !artifactWriterPath(pass.Pkg.ImportPath) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // a method that happens to be named Create is fine
+			}
+			if remedy, banned := bannedOSWriters[fn.Name()]; banned {
+				pass.Reportf(call.Pos(),
+					"direct os.%s can leave a torn artifact on crash; %s", fn.Name(), remedy)
+			}
+			return true
+		})
+	}
+}

@@ -9,7 +9,9 @@ import (
 
 // deterministicPath reports whether an import path belongs to the packages
 // whose output must be a pure function of the configured seed: the builder's
-// root package, the core engines, and the pipeline/crawl/corpus layers. The
+// root package, the core engines, the pipeline/crawl/corpus layers, and the
+// checkpoint journal (a resumed build must be bit-identical to one that
+// never crashed, so the journal can record no clocks or randomness). The
 // ML and experiments layers consume explicit seeds but are not build-output
 // paths, and cmd/ binaries legitimately read wall clocks for reporting.
 func deterministicPath(path string) bool {
@@ -18,7 +20,8 @@ func deterministicPath(path string) bool {
 		"patchdb/internal/core",
 		"patchdb/internal/pipeline",
 		"patchdb/internal/nvd",
-		"patchdb/internal/corpus":
+		"patchdb/internal/corpus",
+		"patchdb/internal/checkpoint":
 		return true
 	}
 	return strings.HasPrefix(path, "patchdb/internal/core/")

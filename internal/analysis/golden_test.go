@@ -143,6 +143,23 @@ func TestTelemetrySafeGolden(t *testing.T) {
 		"patchdb/internal/lintgolden/telemetrysafe", []*Analyzer{TelemetrySafe})
 }
 
+func TestAtomicWriteGolden(t *testing.T) {
+	runGolden(t, "internal/analysis/testdata/src/atomicwrite/a",
+		"patchdb/cmd/lintgolden", []*Analyzer{AtomicWrite})
+}
+
+// TestAtomicWriteAllowlistedPackage loads the same violating source under a
+// package path outside the artifact-writer set and expects silence: packages
+// that never persist artifacts (and internal/atomicio itself) may call the
+// os file functions directly.
+func TestAtomicWriteAllowlistedPackage(t *testing.T) {
+	pkg := loadTestPkg(t, "internal/analysis/testdata/src/atomicwrite/a",
+		"patchdb/internal/lintgolden/atomicwrite")
+	if diags := Run([]*Package{pkg}, []*Analyzer{AtomicWrite}); len(diags) != 0 {
+		t.Errorf("allowlisted package reported %d diagnostics: %v", len(diags), diags)
+	}
+}
+
 // TestSuiteSelfCheck runs the full suite over the analyzer framework and the
 // patchdb-lint CLI: the linter must hold itself to the invariants it
 // enforces.

@@ -1,0 +1,58 @@
+// Package a is golden input for the atomicwrite analyzer: direct os file
+// creation in an artifact-writing package, plus the calls that must stay
+// silent (reads, methods named like the banned functions, test-file writes).
+package a
+
+import (
+	"io"
+	"os"
+)
+
+func writeArtifact(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `direct os\.WriteFile can leave a torn artifact on crash`
+}
+
+func createArtifact(path string) (io.WriteCloser, error) {
+	return os.Create(path) // want `direct os\.Create can leave a torn artifact on crash`
+}
+
+func appendArtifact(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY|os.O_CREATE, 0o644) // want `direct os\.OpenFile can leave a torn artifact on crash`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func scratchFile(dir string) error {
+	f, err := os.CreateTemp(dir, "scratch-*") // want `direct os\.CreateTemp can leave a torn artifact on crash`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Reads are always fine.
+func readArtifact(path string) ([]byte, error) {
+	if f, err := os.Open(path); err == nil {
+		f.Close()
+	}
+	return os.ReadFile(path)
+}
+
+// A method named Create on some other type is not os.Create.
+type factory struct{}
+
+func (factory) Create(string) error    { return nil }
+func (factory) WriteFile(string) error { return nil }
+
+func useFactory(f factory) {
+	_ = f.Create("x")
+	_ = f.WriteFile("y")
+}
+
+// A local function shadowing the name is not os.WriteFile either.
+func shadowed() {
+	WriteFile := func(string) error { return nil }
+	_ = WriteFile("z")
+}

@@ -1,0 +1,79 @@
+// Package atomicio is the shared atomic-write helper behind every durable
+// artifact the repo produces: datasets, run reports, bench JSON files, and
+// checkpoint journals. A write lands via the temp+fsync+rename pattern — the
+// document is streamed into a same-directory temp file, synced to stable
+// storage, closed, and renamed over the destination — so a crash, kill, or
+// full disk mid-write can never leave a truncated artifact where a previous
+// good one stood.
+//
+// The atomicwrite analyzer (internal/analysis, `make lint`) enforces that
+// artifact-writing packages go through this helper instead of calling
+// os.Create / os.WriteFile directly.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteTo atomically replaces path with the bytes write produces. write
+// receives the temp file; any error it returns aborts the operation, removes
+// the temp file, and leaves an existing file at path untouched. After write
+// succeeds the temp file is fsynced, closed, and renamed over path; the
+// containing directory is then synced on a best-effort basis so the rename
+// itself survives a crash.
+func WriteTo(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: create temp for %s: %w", path, err)
+	}
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmp.Name())
+	}
+	if err := write(tmp); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("atomicio: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicio: rename over %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// WriteFile atomically replaces path with data (the os.WriteFile shape, made
+// crash-safe).
+func WriteFile(path string, data []byte) error {
+	return WriteTo(path, func(w io.Writer) error {
+		if _, err := w.Write(data); err != nil {
+			return fmt.Errorf("atomicio: write %s: %w", path, err)
+		}
+		return nil
+	})
+}
+
+// syncDir fsyncs a directory so a just-completed rename is durable. Errors
+// are deliberately ignored: not every filesystem supports directory fsync,
+// and the rename itself already happened — this only narrows the crash
+// window further where the platform allows it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,77 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+
+	if err := WriteFile(path, []byte("v1")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v; want \"v1\"", got, err)
+	}
+
+	if err := WriteFile(path, []byte("v2 longer content")); err != nil {
+		t.Fatalf("WriteFile replace: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2 longer content" {
+		t.Fatalf("after replace: %q", got)
+	}
+	assertNoTempLeft(t, dir)
+}
+
+func TestWriteToAbortKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := WriteFile(path, []byte("good")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	boom := errors.New("boom")
+	err := WriteTo(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("WriteTo error = %v, want wrapped boom", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "good" {
+		t.Fatalf("previous artifact clobbered: %q", got)
+	}
+	assertNoTempLeft(t, dir)
+}
+
+func TestWriteToMissingDirectory(t *testing.T) {
+	err := WriteTo(filepath.Join(t.TempDir(), "no-such-dir", "f"), func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}
+
+// assertNoTempLeft verifies no temp files survive a completed or aborted
+// write — the invariant that keeps artifact directories clean after crashes
+// in our own code paths.
+func assertNoTempLeft(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package nvd
+
+import (
+	"fmt"
+
+	"patchdb/internal/diff"
+)
+
+// SavedPatch is the JSON-serializable form of a CrawledPatch: the parsed
+// patch is flattened back to canonical git text so a checkpoint journal can
+// hold crawl output without exposing diff internals.
+type SavedPatch struct {
+	CVE          string `json:"cve"`
+	Repo         string `json:"repo"`
+	Hash         string `json:"hash"`
+	Patch        string `json:"patch"`
+	FilesDropped int    `json:"files_dropped,omitempty"`
+}
+
+// SavePatches converts crawl output to its journal form, preserving order.
+func SavePatches(patches []*CrawledPatch) []SavedPatch {
+	out := make([]SavedPatch, len(patches))
+	for i, cp := range patches {
+		out[i] = SavedPatch{
+			CVE:          cp.CVE,
+			Repo:         cp.Repo,
+			Hash:         cp.Hash,
+			Patch:        diff.Format(cp.Patch),
+			FilesDropped: cp.FilesDropped,
+		}
+	}
+	return out
+}
+
+// RestorePatches parses journaled patches back into crawl output. Crawled
+// patch text is already one Format/Parse cycle deep (the crawler parsed the
+// downloaded bytes), so the round trip through the journal is exact.
+func RestorePatches(saved []SavedPatch) ([]*CrawledPatch, error) {
+	out := make([]*CrawledPatch, len(saved))
+	for i, sp := range saved {
+		p, err := diff.Parse(sp.Patch)
+		if err != nil {
+			return nil, fmt.Errorf("nvd: restore patch %s: %w", sp.Hash, err)
+		}
+		out[i] = &CrawledPatch{
+			CVE:          sp.CVE,
+			Repo:         sp.Repo,
+			Hash:         sp.Hash,
+			Patch:        p,
+			FilesDropped: sp.FilesDropped,
+		}
+	}
+	return out, nil
+}

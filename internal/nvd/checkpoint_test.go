@@ -1,0 +1,63 @@
+package nvd
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"patchdb/internal/diff"
+)
+
+// TestSaveRestorePatchesRoundTrip crawls a real served feed, journals the
+// output through the Saved form (including a JSON cycle, as the checkpoint
+// layer does), and asserts restored patches format byte-identically.
+func TestSaveRestorePatchesRoundTrip(t *testing.T) {
+	svc, base, c1, _ := world(t)
+	svc.AddEntry(Entry{
+		ID: "CVE-2019-0001",
+		References: []Reference{{
+			URL:  GitHubCommitURL(base, "acme/libfoo", c1.Hash),
+			Tags: []string{"Patch"},
+		}},
+	})
+	crawler := &Crawler{BaseURL: base, Concurrency: 1, MaxAttempts: 1}
+	crawled, _, err := crawler.Crawl(context.Background())
+	if err != nil {
+		t.Fatalf("Crawl: %v", err)
+	}
+	if len(crawled) != 1 {
+		t.Fatalf("crawled %d patches, want 1", len(crawled))
+	}
+
+	saved := SavePatches(crawled)
+	data, err := json.Marshal(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded []SavedPatch
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestorePatches(loaded)
+	if err != nil {
+		t.Fatalf("RestorePatches: %v", err)
+	}
+	if len(restored) != 1 {
+		t.Fatalf("restored %d patches, want 1", len(restored))
+	}
+	got, want := restored[0], crawled[0]
+	if got.CVE != want.CVE || got.Repo != want.Repo || got.Hash != want.Hash ||
+		got.FilesDropped != want.FilesDropped {
+		t.Errorf("metadata mismatch: got %+v want %+v", got, want)
+	}
+	if diff.Format(got.Patch) != diff.Format(want.Patch) {
+		t.Errorf("patch text not bit-identical after journal round trip:\n got %q\nwant %q",
+			diff.Format(got.Patch), diff.Format(want.Patch))
+	}
+}
+
+func TestRestorePatchesRejectsGarbage(t *testing.T) {
+	if _, err := RestorePatches([]SavedPatch{{Hash: "abc", Patch: "not a patch"}}); err == nil {
+		t.Fatal("RestorePatches accepted unparseable text")
+	}
+}

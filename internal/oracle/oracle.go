@@ -111,3 +111,12 @@ func (o *Oracle) ResetEffort() {
 	defer o.mu.Unlock()
 	o.inspected = 0
 }
+
+// SetInspected restores the inspection counter to a journaled value, so a
+// build resumed from a checkpoint reports the same cumulative human effort
+// as an uninterrupted run.
+func (o *Oracle) SetInspected(n int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inspected = n
+}

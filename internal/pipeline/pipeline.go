@@ -37,6 +37,9 @@ const (
 	StageAugment Stage = "augment"
 	// StageSynthesize covers source-level oversampling.
 	StageSynthesize Stage = "synthesize"
+	// StageCheckpoint covers journal writes at stage boundaries when the
+	// build runs with a checkpoint directory.
+	StageCheckpoint Stage = "checkpoint"
 )
 
 // The registry metric families Metrics writes stage accounting into. The
@@ -55,6 +58,7 @@ var stageOrder = map[Stage]int{
 	StageSearch:     2,
 	StageAugment:    3,
 	StageSynthesize: 4,
+	StageCheckpoint: 5,
 }
 
 // Progress observes pipeline advancement: done items out of total for a

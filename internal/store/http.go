@@ -17,7 +17,24 @@ const (
 	MetricRequests       = "patchdb_serve_requests_total"
 	MetricRequestSeconds = "patchdb_serve_request_seconds"
 	MetricReloads        = "patchdb_serve_reloads_total"
+	// MetricPanics counts handler panics the recovery middleware converted
+	// into 500s instead of letting them kill the serving process.
+	MetricPanics = "patchdb_store_http_panics_total"
 )
+
+// DefaultRequestTimeout is the per-request handler deadline unless
+// WithRequestTimeout overrides it. A handler that exceeds it gets a 503 and
+// its (abandoned) output is discarded.
+const DefaultRequestTimeout = 30 * time.Second
+
+// HandlerOption customizes NewHandler.
+type HandlerOption func(*api)
+
+// WithRequestTimeout sets the per-request handler deadline; non-positive
+// disables the deadline entirely.
+func WithRequestTimeout(d time.Duration) HandlerOption {
+	return func(s *api) { s.timeout = d }
+}
 
 // NewHandler builds the versioned query API over st:
 //
@@ -32,14 +49,21 @@ const (
 //	GET  /healthz           liveness
 //
 // Every endpoint is instrumented into hub (request counters by endpoint and
-// status code, latency histograms, one span per request). reload is invoked
-// by POST /reload; pass nil to disable the endpoint (it then answers 501).
-// A nil hub gets a private one.
-func NewHandler(st *Store, hub *telemetry.Hub, reload func() (*Snapshot, error)) http.Handler {
+// status code, latency histograms, one span per request), wrapped in a
+// panic-recovery middleware (a panicking handler answers 500 and increments
+// MetricPanics instead of killing the process), and bounded by a per-request
+// deadline (DefaultRequestTimeout unless WithRequestTimeout overrides it; a
+// handler that overruns answers 503). reload is invoked by POST /reload;
+// pass nil to disable the endpoint (it then answers 501). A nil hub gets a
+// private one.
+func NewHandler(st *Store, hub *telemetry.Hub, reload func() (*Snapshot, error), opts ...HandlerOption) http.Handler {
 	if hub == nil {
 		hub = telemetry.NewHub()
 	}
-	s := &api{store: st, reg: hub.Registry, tracer: hub.Tracer, reload: reload}
+	s := &api{store: st, reg: hub.Registry, tracer: hub.Tracer, reload: reload, timeout: DefaultRequestTimeout}
+	for _, opt := range opts {
+		opt(s)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("GET /v1/patch/{id}", s.instrument("patch", s.handlePatch))
 	mux.Handle("GET /v1/cve/{cve}", s.instrument("cve", s.handleCVE))
@@ -54,38 +78,79 @@ func NewHandler(st *Store, hub *telemetry.Hub, reload func() (*Snapshot, error))
 // api carries the handler dependencies: the store, the telemetry sinks
 // (extracted from the hub once, at construction), and the reload hook.
 type api struct {
-	store  *Store
-	reg    *telemetry.Registry
-	tracer *telemetry.Tracer
-	reload func() (*Snapshot, error)
+	store   *Store
+	reg     *telemetry.Registry
+	tracer  *telemetry.Tracer
+	reload  func() (*Snapshot, error)
+	timeout time.Duration
 }
 
-// statusWriter captures the status code for the request counter.
+// statusWriter captures the status code for the request counter, and whether
+// anything was written — the recovery middleware can only substitute a 500
+// while the response has not started.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
 // instrument wraps an endpoint with a per-request span, a latency
-// observation, and a (endpoint, code) request counter.
+// observation, and a (endpoint, code) request counter, around the recovery
+// and deadline middlewares (outermost to innermost: metrics → recover →
+// timeout → handler, so a panic or deadline still lands in the counters).
 func (s *api) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	hist := s.reg.Histogram(MetricRequestSeconds, nil, telemetry.L("endpoint", endpoint))
+	var inner http.Handler = h
+	if s.timeout > 0 {
+		inner = http.TimeoutHandler(inner, s.timeout, `{"error":"request deadline exceeded"}`)
+	}
+	inner = s.recoverPanics(endpoint, inner)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx, span := s.tracer.Start(r.Context(), "serve."+endpoint)
 		defer span.End()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		h(sw, r.WithContext(ctx))
+		inner.ServeHTTP(sw, r.WithContext(ctx))
 		hist.Observe(time.Since(start).Seconds())
 		span.SetAttr("status", sw.status)
 		s.reg.Counter(MetricRequests,
 			telemetry.L("endpoint", endpoint),
 			telemetry.L("code", strconv.Itoa(sw.status))).Inc()
+	})
+}
+
+// recoverPanics converts a handler panic into a 500 (when the response has
+// not started) and counts it in MetricPanics, so one poisoned request cannot
+// take down the serving process. http.TimeoutHandler re-raises its child's
+// panic in this goroutine, so the middleware covers timed-out handlers too;
+// http.ErrAbortHandler is the deliberate abort idiom and propagates.
+func (s *api) recoverPanics(endpoint string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(v)
+			}
+			s.reg.Counter(MetricPanics, telemetry.L("endpoint", endpoint)).Inc()
+			if sw, ok := w.(*statusWriter); !ok || !sw.wrote {
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
 	})
 }
 
@@ -254,6 +319,38 @@ func (s *api) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reloadResponse{Version: sn.Version, Stats: sn.Stats(), Records: sn.Records()})
 }
 
+// healthResponse is the /healthz payload: liveness plus reload health, so a
+// probe can tell "serving, but the artifact on disk no longer loads" from
+// "serving the latest snapshot".
+type healthResponse struct {
+	OK      bool   `json:"ok"`
+	Version uint64 `json:"version"`
+	Records int    `json:"records"`
+	// SnapshotAgeSeconds is how long the current snapshot has been serving
+	// (-1 until the first successful load).
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	// LastReloadError surfaces a failed reload (POST /reload or SIGHUP)
+	// while the previous snapshot keeps serving; "" once a reload succeeds.
+	LastReloadError string `json:"last_reload_error,omitempty"`
+	// LastReloadAt is the RFC 3339 time of the most recent load attempt,
+	// successful or not (omitted if none).
+	LastReloadAt string `json:"last_reload_at,omitempty"`
+}
+
 func (s *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.store.Snapshot().Version})
+	h := s.store.Health()
+	resp := healthResponse{
+		OK:                 true,
+		Version:            h.Version,
+		Records:            h.Records,
+		SnapshotAgeSeconds: -1,
+		LastReloadError:    h.LastReloadError,
+	}
+	if !h.LoadedAt.IsZero() {
+		resp.SnapshotAgeSeconds = time.Since(h.LoadedAt).Seconds()
+	}
+	if !h.LastReloadAt.IsZero() {
+		resp.LastReloadAt = h.LastReloadAt.UTC().Format(time.RFC3339Nano)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

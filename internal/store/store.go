@@ -20,10 +20,16 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"patchdb"
 	"patchdb/internal/telemetry"
 )
+
+// MetricReloadFailures counts LoadFile attempts that failed (unreadable or
+// malformed artifact); the previous snapshot keeps serving through every one
+// of them.
+const MetricReloadFailures = "patchdb_store_reload_failures_total"
 
 // DefaultShards is the shard count used when a Store is created with a
 // non-positive one.
@@ -41,6 +47,47 @@ type Store struct {
 	loadMu  sync.Mutex
 	version atomic.Uint64
 	snap    atomic.Pointer[Snapshot]
+
+	// healthMu guards the reload-health record below: when the current
+	// snapshot was swapped in, when the last (re)load was attempted, and the
+	// last attempt's error ("" after a success). A failed reload never
+	// touches the snapshot pointer — readers keep the previous version — so
+	// this record is the only place the failure is visible.
+	healthMu      sync.Mutex
+	loadedAt      time.Time
+	lastReloadAt  time.Time
+	lastReloadErr string
+}
+
+// Health is a point-in-time view of the store's serving state, exposed on
+// /healthz: the current snapshot's version and size, when it was loaded, and
+// the outcome of the most recent load attempt.
+type Health struct {
+	Version uint64
+	Records int
+	// LoadedAt is when the current snapshot was swapped in (zero if the
+	// store has only ever served its empty initial snapshot).
+	LoadedAt time.Time
+	// LastReloadAt is when the most recent load attempt ran, successful or
+	// not (zero if none).
+	LastReloadAt time.Time
+	// LastReloadError is the most recent load attempt's error, "" if it
+	// succeeded.
+	LastReloadError string
+}
+
+// Health reports the store's current serving state.
+func (s *Store) Health() Health {
+	sn := s.Snapshot()
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	return Health{
+		Version:         sn.Version,
+		Records:         sn.Records(),
+		LoadedAt:        s.loadedAt,
+		LastReloadAt:    s.lastReloadAt,
+		LastReloadError: s.lastReloadErr,
+	}
 }
 
 // New creates an empty store with the given shard count (non-positive means
@@ -71,17 +118,32 @@ func (s *Store) Load(ds *patchdb.Dataset) *Snapshot {
 	defer s.loadMu.Unlock()
 	sn := buildSnapshot(ds, s.shards, s.version.Add(1))
 	s.snap.Store(sn)
+	s.healthMu.Lock()
+	now := time.Now()
+	s.loadedAt = now
+	s.lastReloadAt = now
+	s.lastReloadErr = ""
+	s.healthMu.Unlock()
 	s.reg.Gauge("patchdb_store_snapshot_version").Set(float64(sn.Version))
 	s.reg.Gauge("patchdb_store_records").Set(float64(len(sn.ids)))
 	s.reg.Counter("patchdb_store_loads_total").Inc()
 	return sn
 }
 
-// LoadFile reads a dataset artifact from disk and makes it current.
+// LoadFile reads a dataset artifact from disk and makes it current. On
+// failure the store keeps serving the previous snapshot untouched; the
+// failure is recorded in Health and the reload-failure counter so operators
+// can see that the artifact on disk is newer than what is being served.
 func (s *Store) LoadFile(path string) (*Snapshot, error) {
 	ds, err := patchdb.LoadDatasetFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		err = fmt.Errorf("store: %w", err)
+		s.healthMu.Lock()
+		s.lastReloadAt = time.Now()
+		s.lastReloadErr = err.Error()
+		s.healthMu.Unlock()
+		s.reg.Counter(MetricReloadFailures).Inc()
+		return nil, err
 	}
 	return s.Load(ds), nil
 }

@@ -3,8 +3,8 @@ package telemetry
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
+
+	"patchdb/internal/atomicio"
 )
 
 // DefaultRunReportPath is the conventional RunReport output filename (the
@@ -78,29 +78,15 @@ func (r *RunReport) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }
 
-// WriteFile writes the report as indented JSON via a same-directory temp
-// file and rename, so readers never observe a half-written report.
+// WriteFile writes the report as indented JSON via the shared
+// temp+fsync+rename helper (internal/atomicio), so readers never observe a
+// half-written report.
 func (r *RunReport) WriteFile(path string) error {
 	data, err := r.JSON()
 	if err != nil {
 		return fmt.Errorf("telemetry: encode run report: %w", err)
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".run-report-*.json")
-	if err != nil {
-		return fmt.Errorf("telemetry: write run report: %w", err)
-	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("telemetry: write run report: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("telemetry: write run report: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := atomicio.WriteFile(path, append(data, '\n')); err != nil {
 		return fmt.Errorf("telemetry: write run report: %w", err)
 	}
 	return nil

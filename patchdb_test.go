@@ -307,6 +307,55 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestBuildCheckpointedMatchesPlain proves the happy path of the journal:
+// enabling CheckpointDir changes nothing about the output, the journal holds
+// every planned stage afterwards, and CheckpointPlan names them.
+func TestBuildCheckpointedMatchesPlain(t *testing.T) {
+	cfg := BuilderConfig{
+		Seed:              3,
+		NVDSize:           30,
+		NonSecuritySize:   60,
+		WildPools:         []int{200},
+		RoundsPerPool:     []int{1},
+		SyntheticPerPatch: 1,
+		Workers:           2,
+	}
+	plain, _, err := Build(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := cfg
+	ckpt.CheckpointDir = t.TempDir()
+	journaled, report, err := Build(context.Background(), ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, journaled) {
+		t.Error("checkpointed build produced a different dataset than a plain build")
+	}
+	if report.ResumedFrom != "" {
+		t.Errorf("ResumedFrom = %q for a fresh build", report.ResumedFrom)
+	}
+	wantPlan := []string{"crawl", "seed", "augment-1", "oversample"}
+	if got := CheckpointPlan(cfg); !reflect.DeepEqual(got, wantPlan) {
+		t.Errorf("CheckpointPlan = %v, want %v", got, wantPlan)
+	}
+	// The journal now holds every stage: resuming runs nothing and returns
+	// the identical dataset.
+	resume := ckpt
+	resume.Resume = true
+	resumed, resumedReport, err := Build(context.Background(), resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumedReport.ResumedFrom != "oversample" {
+		t.Errorf("ResumedFrom = %q, want oversample", resumedReport.ResumedFrom)
+	}
+	if !reflect.DeepEqual(plain, resumed) {
+		t.Error("fully-journaled resume produced a different dataset")
+	}
+}
+
 func TestBuildFeedNoiseSemantics(t *testing.T) {
 	base := BuilderConfig{Seed: 5, NVDSize: 30, NonSecuritySize: 60, WildPools: []int{200}, RoundsPerPool: []int{1}}
 

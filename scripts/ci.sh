@@ -1,8 +1,8 @@
 #!/bin/sh
 # scripts/ci.sh — the merge gate as one script, for environments without
 # GitHub Actions. Mirrors .github/workflows/ci.yml and `make ci`: build,
-# stock vet, the custom patchdb-lint suite, and the test run. Exits non-zero
-# on the first failure.
+# stock vet, the custom patchdb-lint suite, the test run, and the
+# race-enabled crash-safety suite. Exits non-zero on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,10 +15,13 @@ echo "==> build"
 echo "==> vet"
 "$GO" vet ./...
 
-echo "==> lint (patchdb-lint: determinism ctxloop errcanon telemetrysafe)"
+echo "==> lint (patchdb-lint: determinism ctxloop errcanon telemetrysafe atomicwrite)"
 "$GO" run ./cmd/patchdb-lint ./...
 
 echo "==> test"
 "$GO" test ./...
+
+echo "==> verify-resume (kill-and-resume crash safety, race-enabled)"
+"$GO" test -race -count=1 ./internal/atomicio/ ./internal/checkpoint/ ./internal/experiments/resumebench/
 
 echo "ci: ok"
