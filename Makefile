@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-nearestlink bench-serve verify verify-chaos verify-telemetry verify-serve verify-resume ci clean
+.PHONY: build test vet lint race bench bench-nearestlink bench-smoke bench-serve verify verify-chaos verify-telemetry verify-serve verify-resume ci clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,14 @@ bench:
 # hottest kernel in the repo.
 bench-nearestlink:
 	$(GO) run ./cmd/patchdb-bench -only NEARESTLINK
+
+# bench-smoke is the CI-gate form of the engine sweep: one tiny shape
+# (50 seeds x 2000 wild commits, 60 dims) across worker counts, every link of
+# every run compared bit-for-bit against the reference implementation plus a
+# brute-force spot-check of all seeds. Seconds of wall-clock, no artifact
+# write — it gates correctness, not throughput.
+bench-smoke:
+	$(GO) run ./cmd/patchdb-bench -only NEARESTLINK -smoke
 
 # bench-serve drives the patchdb-serve query API over real loopback HTTP at
 # 1/4/16 store shards, cold vs. warm snapshot, and writes BENCH_serve.json
@@ -77,9 +85,9 @@ verify-resume:
 verify: vet lint verify-chaos verify-telemetry verify-serve verify-resume race
 
 # ci is the fast merge gate mirrored by .github/workflows/ci.yml and
-# scripts/ci.sh: build, both static-analysis tiers, the plain test run, and
-# the race-enabled crash-safety suite.
-ci: build vet lint test verify-resume
+# scripts/ci.sh: build, both static-analysis tiers, the plain test run, the
+# race-enabled crash-safety suite, and the fully-verified engine smoke sweep.
+ci: build vet lint test verify-resume bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,7 @@
 //	patchdb-bench -only BUILD     # end-to-end pipeline with stage timings
 //	patchdb-bench -only CHAOS     # crawl resilience under injected faults
 //	patchdb-bench -only NEARESTLINK  # search engine sweep -> BENCH_nearestlink.json
+//	patchdb-bench -only NEARESTLINK -smoke  # tiny fully-verified sweep, no artifact (CI gate)
 //	patchdb-bench -only SERVE     # query API load generation -> BENCH_serve.json
 //	patchdb-bench -only BUILD -serve-metrics 127.0.0.1:9090  # scrape /metrics live
 //	patchdb-bench -only BUILD -telemetry-out report.json     # write the RunReport
@@ -41,7 +42,8 @@ func run() error {
 		scaleName = flag.String("scale", "default", "experiment scale: small, default, or paper")
 		only      = flag.String("only", "", "comma-separated experiment ids (II,III,IV,V,VI,VII,F6,BUILD,CHAOS,NEARESTLINK,SERVE); empty = all")
 		seed      = flag.Int64("seed", 1, "random seed")
-		workers   = flag.Int("workers", 0, "BUILD/CHAOS/NEARESTLINK experiment worker-pool size (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "BUILD/CHAOS/NEARESTLINK experiment worker-pool size (0 = GOMAXPROCS; NEARESTLINK sweeps 1/4/8 when 0)")
+		smoke     = flag.Bool("smoke", false, "NEARESTLINK only: run a tiny fully-verified shape and skip the artifact write (CI gate)")
 		telOut    = flag.String("telemetry-out", "", "write the BUILD experiment's RunReport JSON to this path (empty = disabled)")
 		telServe  = flag.String("serve-metrics", "", "serve /metrics and /debug/pprof on this address for the whole bench run (empty = disabled)")
 	)
@@ -99,7 +101,7 @@ func run() error {
 		{"VII", func() (fmt.Stringer, error) { return lab.RunTableVII() }},
 		{"BUILD", func() (fmt.Stringer, error) { return runBuild(scale, *workers, hub, *telOut) }},
 		{"CHAOS", func() (fmt.Stringer, error) { return runChaos(scale.NVDSeed, scale.Seed, *workers) }},
-		{"NEARESTLINK", func() (fmt.Stringer, error) { return runNearestLink(scale, *workers) }},
+		{"NEARESTLINK", func() (fmt.Stringer, error) { return runNearestLink(scale, *workers, *smoke) }},
 		{"SERVE", func() (fmt.Stringer, error) { return runServe(scale, *workers) }},
 	}
 	for _, e := range all {

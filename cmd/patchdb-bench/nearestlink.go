@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -16,14 +17,21 @@ import (
 )
 
 // nearestLinkJSON is the perf-trajectory artifact the NEARESTLINK
-// experiment emits, one row per (M, N) sweep point.
+// experiment emits, one row per (M, N, workers) sweep point.
 const nearestLinkJSON = "BENCH_nearestlink.json"
 
-// referenceVerifyCap bounds the M*N size at which the sweep cross-checks
-// the engine against the O(M·N·d) reference implementation (and reports a
-// measured speedup); above it the reference run would dominate the sweep's
-// wall-clock.
+// referenceVerifyCap bounds the M*N size at which the sweep runs the full
+// O(M·N·d) reference implementation — cross-checking every link bit-for-bit
+// and timing a directly measured speedup. Above it the reference run would
+// dominate the sweep's wall-clock, so those shapes time a deterministic
+// seed-row subsample instead (reference_mode: "sampled").
 const referenceVerifyCap = 25_000_000
+
+// referenceSampleSeeds is the seed-row subsample a too-large shape times the
+// reference on: the reference cost is linear in M (each seed row is one full
+// O(N·d) scan plus its share of greedy rescans), so the measurement scales
+// to the full M by M/referenceSampleSeeds.
+const referenceSampleSeeds = 64
 
 // spotCheckSeeds is how many seeds every shape verifies against the
 // reference semantics via nearestlink.VerifySampled: each sampled link gets
@@ -34,22 +42,30 @@ const spotCheckSeeds = 64
 
 // nlRow is one sweep measurement.
 type nlRow struct {
-	M              int     `json:"m"`
-	N              int     `json:"n"`
-	Dims           int     `json:"dims"`
+	M    int `json:"m"`
+	N    int `json:"n"`
+	Dims int `json:"dims"`
+	// Workers is the resolved worker count the engine actually ran with
+	// (never 0: a zero request resolves to GOMAXPROCS).
+	Workers        int     `json:"workers"`
 	NsPerOp        int64   `json:"ns_per_op"`
 	DistanceEvals  int64   `json:"distance_evals"`
 	NormPruned     int64   `json:"norm_pruned"`
+	QuantPruned    int64   `json:"quant_pruned"`
 	EarlyExited    int64   `json:"early_exited"`
 	PrunedFraction float64 `json:"pruned_fraction"`
 	Rescans        int     `json:"rescans"`
 	SecondBestHits int     `json:"second_best_hits"`
 	HeapPops       int     `json:"heap_pops"`
-	// ReferenceNsPerOp and Speedup are populated only when the point was
-	// small enough to run (and verify against) the reference.
-	ReferenceNsPerOp int64   `json:"reference_ns_per_op,omitempty"`
-	Speedup          float64 `json:"speedup_vs_reference,omitempty"`
-	Verified         bool    `json:"verified_identical"`
+	// ReferenceNsPerOp and Speedup are populated for every row.
+	// ReferenceMode records how the reference was timed: "full" is a
+	// complete reference run over the same instance, "sampled" scales a
+	// referenceSampleSeeds-row subsample measurement to the full M.
+	ReferenceNsPerOp     int64   `json:"reference_ns_per_op"`
+	Speedup              float64 `json:"speedup_vs_reference"`
+	ReferenceMode        string  `json:"reference_mode"`
+	ReferenceSampleSeeds int     `json:"reference_sample_seeds,omitempty"`
+	Verified             bool    `json:"verified_identical"`
 	// VerifyMode records how the row was verified: "full+spot" when the
 	// whole link set was compared against a reference run, "spot" when only
 	// the sampled per-seed reference scans ran.
@@ -61,19 +77,19 @@ type nlRow struct {
 type nlResult struct {
 	Experiment string  `json:"experiment"`
 	Scale      string  `json:"scale"`
-	Workers    int     `json:"workers"`
 	Rows       []nlRow `json:"rows"`
 	path       string
+	smoke      bool
 }
 
 func (r nlResult) String() string {
 	var sb strings.Builder
 	sb.WriteString("NEARESTLINK: flat-layout pruned search engine sweep\n")
-	sb.WriteString("      M        N      time      evals  pruned  rescans  2nd-best   speedup\n")
+	sb.WriteString("      M        N   wrk      time      evals  pruned  rescans  2nd-best   speedup\n")
 	for _, row := range r.Rows {
-		speed := "      -"
-		if row.Speedup > 0 {
-			speed = fmt.Sprintf("%6.1fx", row.Speedup)
+		speed := fmt.Sprintf("%6.1fx", row.Speedup)
+		if row.ReferenceMode == "sampled" {
+			speed += "~" // estimated against a sampled reference timing
 		}
 		verified := ""
 		switch {
@@ -82,12 +98,16 @@ func (r nlResult) String() string {
 		case row.Verified:
 			verified = fmt.Sprintf(" =ref(%d sampled)", row.SpotCheckedSeeds)
 		}
-		fmt.Fprintf(&sb, "  %5d  %7d  %8s  %9d  %5.1f%%  %7d  %8d  %s%s\n",
-			row.M, row.N, time.Duration(row.NsPerOp).Round(time.Millisecond),
+		fmt.Fprintf(&sb, "  %5d  %7d  %4d  %8s  %9d  %5.1f%%  %7d  %8d  %s%s\n",
+			row.M, row.N, row.Workers, time.Duration(row.NsPerOp).Round(time.Millisecond),
 			row.DistanceEvals, 100*row.PrunedFraction, row.Rescans,
 			row.SecondBestHits, speed, verified)
 	}
-	fmt.Fprintf(&sb, "  wrote %s", r.path)
+	if r.smoke {
+		sb.WriteString("  smoke gate: every row fully verified against the reference; artifact not written")
+	} else {
+		fmt.Fprintf(&sb, "  wrote %s", r.path)
+	}
 	return sb.String()
 }
 
@@ -98,6 +118,24 @@ func nlShapes(scale experiments.Scale) [][2]int {
 		return [][2]int{{100, 10_000}, {250, 25_000}}
 	}
 	return [][2]int{{500, 50_000}, {1000, 100_000}, {2000, 200_000}}
+}
+
+// nlWorkerSweep picks the worker counts per shape: an explicit -workers flag
+// runs just that count; the default sweeps the scaling dimension.
+func nlWorkerSweep(flagWorkers int) []int {
+	if flagWorkers > 0 {
+		return []int{flagWorkers}
+	}
+	return []int{1, 4, 8}
+}
+
+// resolveWorkers mirrors the engine's Options resolution so the artifact
+// records the worker count actually used, never a raw 0 request.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
 }
 
 // synthFeatureRows generates feature-like vectors mimicking the 60-dim
@@ -125,70 +163,120 @@ func synthFeatureRows(rng *rand.Rand, n, d int) [][]float64 {
 	return out
 }
 
-// runNearestLink sweeps the engine over growing (M, N) instances, verifies
-// bit-identical links against the reference where affordable, and writes
-// the measurements to BENCH_nearestlink.json.
-func runNearestLink(scale experiments.Scale, workers int) (fmt.Stringer, error) {
-	const dims = 60
-	res := nlResult{Experiment: "nearestlink", Scale: scale.Name, Workers: workers, path: nearestLinkJSON}
-	opts := func(st *nearestlink.Stats) *nearestlink.Options {
-		return &nearestlink.Options{Workers: workers, Stats: st}
+// nlReference times (and where affordable fully runs) the reference search
+// for one shape. For shapes under referenceVerifyCap it returns the timed
+// full-instance link set; larger shapes time a deterministic seed-row
+// subsample and scale the measurement linearly to the full M, returning nil
+// links. The subsample reuses the instance's own rows, so the timing sees
+// the same wild pool and dimensionality the engine did.
+func nlReference(sec, wild [][]float64, m, n int) (links []nearestlink.Link, refNs int64, mode string, sampleSeeds int, err error) {
+	if m*n <= referenceVerifyCap {
+		start := time.Now()
+		links, err = nearestlink.ReferenceSearch(sec, wild, nil)
+		if err != nil {
+			return nil, 0, "", 0, err
+		}
+		return links, time.Since(start).Nanoseconds(), "full", 0, nil
 	}
-	for _, sh := range nlShapes(scale) {
+	sub := referenceSampleSeeds
+	if sub > m {
+		sub = m
+	}
+	start := time.Now()
+	if _, err = nearestlink.ReferenceSearch(sec[:sub], wild, nil); err != nil {
+		return nil, 0, "", 0, err
+	}
+	est := time.Since(start).Nanoseconds() / int64(sub) * int64(m)
+	return nil, est, "sampled", sub, nil
+}
+
+// runNearestLink sweeps the engine over growing (M, N) instances and worker
+// counts, verifies bit-identical links against the reference where
+// affordable (and spot-checks everywhere), and writes the measurements to
+// BENCH_nearestlink.json. In smoke mode it instead runs one tiny shape with
+// every row fully reference-verified and skips the artifact write — the CI
+// gate form of the sweep.
+func runNearestLink(scale experiments.Scale, flagWorkers int, smoke bool) (fmt.Stringer, error) {
+	const dims = 60
+	res := nlResult{Experiment: "nearestlink", Scale: scale.Name, path: nearestLinkJSON, smoke: smoke}
+	shapes := nlShapes(scale)
+	if smoke {
+		res.Scale = "smoke"
+		shapes = [][2]int{{50, 2000}}
+	}
+	for _, sh := range shapes {
 		m, n := sh[0], sh[1]
 		rng := rand.New(rand.NewSource(scale.Seed + int64(m)*31 + int64(n)))
 		sec := synthFeatureRows(rng, m, dims)
 		wild := synthFeatureRows(rng, n, dims)
 
-		var st nearestlink.Stats
-		start := time.Now()
-		links, err := nearestlink.Search(context.Background(), sec, wild, opts(&st))
+		// The reference cost does not depend on the engine's worker sweep, so
+		// each shape runs (or samples) the reference once and every worker
+		// row reports its speedup against the same measurement.
+		want, refNs, refMode, refSeeds, err := nlReference(sec, wild, m, n)
 		if err != nil {
-			return nil, fmt.Errorf("%dx%d: %w", m, n, err)
+			return nil, fmt.Errorf("%dx%d reference: %w", m, n, err)
 		}
-		row := nlRow{
-			M: m, N: n, Dims: dims,
-			NsPerOp:        time.Since(start).Nanoseconds(),
-			DistanceEvals:  st.DistanceEvals,
-			NormPruned:     st.NormPruned,
-			EarlyExited:    st.EarlyExited,
-			PrunedFraction: st.PrunedFraction,
-			Rescans:        st.Rescans,
-			SecondBestHits: st.SecondBestHits,
-			HeapPops:       st.HeapPops,
-		}
-		// Every shape runs the sampled reference spot-check; small shapes
-		// additionally run (and time) the full reference search.
-		checked, err := nearestlink.VerifySampled(sec, wild, links,
-			&nearestlink.Options{Workers: workers}, spotCheckSeeds, scale.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("%dx%d spot-check: %w", m, n, err)
-		}
-		row.SpotCheckedSeeds = checked
-		row.Verified = true
-		row.VerifyMode = "spot"
-		if m*n <= referenceVerifyCap {
-			start = time.Now()
-			want, err := nearestlink.ReferenceSearch(sec, wild, &nearestlink.Options{Workers: workers})
+
+		for _, workers := range nlWorkerSweep(flagWorkers) {
+			var st nearestlink.Stats
+			start := time.Now()
+			links, err := nearestlink.Search(context.Background(), sec, wild,
+				&nearestlink.Options{Workers: workers, Stats: &st})
 			if err != nil {
-				return nil, fmt.Errorf("%dx%d reference: %w", m, n, err)
+				return nil, fmt.Errorf("%dx%d w=%d: %w", m, n, workers, err)
 			}
-			row.ReferenceNsPerOp = time.Since(start).Nanoseconds()
+			row := nlRow{
+				M: m, N: n, Dims: dims,
+				Workers:              resolveWorkers(workers),
+				NsPerOp:              time.Since(start).Nanoseconds(),
+				DistanceEvals:        st.DistanceEvals,
+				NormPruned:           st.NormPruned,
+				QuantPruned:          st.QuantPruned,
+				EarlyExited:          st.EarlyExited,
+				PrunedFraction:       st.PrunedFraction,
+				Rescans:              st.Rescans,
+				SecondBestHits:       st.SecondBestHits,
+				HeapPops:             st.HeapPops,
+				ReferenceNsPerOp:     refNs,
+				ReferenceMode:        refMode,
+				ReferenceSampleSeeds: refSeeds,
+			}
 			if row.NsPerOp > 0 {
-				row.Speedup = float64(row.ReferenceNsPerOp) / float64(row.NsPerOp)
+				row.Speedup = float64(refNs) / float64(row.NsPerOp)
 			}
-			if len(links) != len(want) {
-				return nil, fmt.Errorf("%dx%d: engine %d links, reference %d", m, n, len(links), len(want))
+			// Every row runs the sampled reference spot-check; rows with a
+			// full reference run additionally compare the whole link set.
+			samples := spotCheckSeeds
+			if smoke {
+				samples = m // smoke: brute-force every link
 			}
-			for k := range want {
-				if links[k] != want[k] {
-					return nil, fmt.Errorf("%dx%d: link %d diverges: engine %+v, reference %+v",
-						m, n, k, links[k], want[k])
+			checked, err := nearestlink.VerifySampled(sec, wild, links,
+				&nearestlink.Options{Workers: workers}, samples, scale.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("%dx%d w=%d spot-check: %w", m, n, workers, err)
+			}
+			row.SpotCheckedSeeds = checked
+			row.Verified = true
+			row.VerifyMode = "spot"
+			if want != nil {
+				if len(links) != len(want) {
+					return nil, fmt.Errorf("%dx%d w=%d: engine %d links, reference %d",
+						m, n, workers, len(links), len(want))
 				}
+				for k := range want {
+					if links[k] != want[k] {
+						return nil, fmt.Errorf("%dx%d w=%d: link %d diverges: engine %+v, reference %+v",
+							m, n, workers, k, links[k], want[k])
+					}
+				}
+				row.VerifyMode = "full+spot"
 			}
-			row.VerifyMode = "full+spot"
+			res.Rows = append(res.Rows, row)
 		}
-		res.Rows = append(res.Rows, row)
+	}
+	if smoke {
+		return res, nil
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

@@ -53,21 +53,43 @@ func (h *rowHeap) pop() (float64, int) {
 	h.swap(0, last)
 	h.d = h.d[:last]
 	h.r = h.r[:last]
-	i := 0
+	h.siftDown(0)
+	return d, row
+}
+
+// heapifyRowHeap builds a heap over all rows at once — entry i keyed by
+// u[i] — with Floyd's bottom-up sift-down: O(m) instead of the O(m log m)
+// of m pushes. The heap's internal layout differs from push-built, but pop
+// order is a pure function of the (distance, row) total order, so the
+// greedy phase's output and accounting are unchanged.
+func heapifyRowHeap(u []float64) *rowHeap {
+	m := len(u)
+	h := &rowHeap{d: append(make([]float64, 0, m), u...), r: make([]int, m)}
+	for i := range h.r {
+		h.r[i] = i
+	}
+	for i := m/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return h
+}
+
+// siftDown restores the heap property below index i.
+func (h *rowHeap) siftDown(i int) {
+	n := len(h.d)
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < last && h.less(l, smallest) {
+		if l < n && h.less(l, smallest) {
 			smallest = l
 		}
-		if r < last && h.less(r, smallest) {
+		if r < n && h.less(r, smallest) {
 			smallest = r
 		}
 		if smallest == i {
-			break
+			return
 		}
 		h.swap(i, smallest)
 		i = smallest
 	}
-	return d, row
 }

@@ -221,14 +221,16 @@ func screenTailDist2(a, b []float64, prefix, bound float64) bool {
 // scanCounters accumulates per-worker pruning accounting, merged into Stats
 // after parallel phases.
 type scanCounters struct {
-	evals       int64 // evaluations started (survived every O(1) norm bound)
+	evals       int64 // evaluations started (survived every cheap bound)
 	normPruned  int64 // rejected by the norm window or segment-norm bound
+	quantPruned int64 // rejected by the quantized integer prefix bound
 	earlyExited int64 // aborted by the prefix or tail partial-distance screen
 }
 
 func (c *scanCounters) add(o scanCounters) {
 	c.evals += o.evals
 	c.normPruned += o.normPruned
+	c.quantPruned += o.quantPruned
 	c.earlyExited += o.earlyExited
 }
 
@@ -406,6 +408,61 @@ func prefixDist2(a, b []float64) float64 {
 	return (s0 + s1) + (s2 + s3)
 }
 
+// prefixScreen evaluates the prefix partial distance with a rejection
+// checkpoint every 8 dimensions: the candidate is rejected as soon as
+// partial + add exceeds limit. Each checkpoint applies exactly the caller's
+// final test, and the partial sum is monotone under the appended
+// non-negative terms (adding t ≥ 0 to an accumulator never decreases its
+// rounded value, and the final accumulator combination is monotone in each
+// part) — so a midway rejection coincides with the decision the full prefix
+// sum would have produced. Only wasted arithmetic is skipped; the rejected
+// set, and with it every Stats counter, is unchanged.
+func prefixScreen(a, b []float64, add, limit float64) (pd float64, live bool) {
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+8 <= len(a); j += 8 {
+		x := a[j : j+8 : j+8]
+		y := b[j : j+8 : j+8]
+		d0 := x[0] - y[0]
+		d1 := x[1] - y[1]
+		d2 := x[2] - y[2]
+		d3 := x[3] - y[3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+		d4 := x[4] - y[4]
+		d5 := x[5] - y[5]
+		d6 := x[6] - y[6]
+		d7 := x[7] - y[7]
+		s0 += d4 * d4
+		s1 += d5 * d5
+		s2 += d6 * d6
+		s3 += d7 * d7
+		if s := (s0 + s1) + (s2 + s3); s+add > limit {
+			return s, false
+		}
+	}
+	for ; j+4 <= len(a); j += 4 {
+		x := a[j : j+4 : j+4]
+		y := b[j : j+4 : j+4]
+		d0 := x[0] - y[0]
+		d1 := x[1] - y[1]
+		d2 := x[2] - y[2]
+		d3 := x[3] - y[3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; j < len(a); j++ {
+		d := a[j] - b[j]
+		s0 += d * d
+	}
+	pd = (s0 + s1) + (s2 + s3)
+	return pd, pd+add <= limit
+}
+
 // screenPerm orders dimensions by descending variance over the wild pool
 // (ties by ascending dimension, so the order — and with it every Stats
 // counter — is deterministic for a given input).
@@ -459,7 +516,7 @@ func permuteCols(m *Matrix, perm []int) *Matrix {
 // (order statistics over a subset can only be ≥ those over the full set), so
 // the walk prunes against min(current, seeded) from its very first step —
 // before its own visits have tightened the running second-best.
-const seedSpan = 8
+const seedSpan = 64
 
 // seedBounds samples the 2·seedSpan nearest-norm wild rows of security row i
 // and returns the smallest and second-smallest exact distances — valid upper

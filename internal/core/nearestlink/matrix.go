@@ -98,9 +98,16 @@ func (m *Matrix) RowSlices() [][]float64 {
 	return out
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. Densely packed matrices (stride == cols, the
+// layout every constructor here produces) clone with one bulk copy instead
+// of a per-row loop — this sits on the SearchMatrix hot path, where
+// normalization clones the full wild pool before weighting it.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.rows, m.cols)
+	if m.stride == m.cols {
+		copy(c.data, m.data)
+		return c
+	}
 	for i := 0; i < m.rows; i++ {
 		copy(c.Row(i), m.Row(i))
 	}

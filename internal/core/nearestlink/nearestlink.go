@@ -45,6 +45,28 @@ type Link struct {
 type Options struct {
 	// Workers bounds parallelism (default: GOMAXPROCS).
 	Workers int
+	// BlockRows is the seed-major block height of the scan phase: how many
+	// consecutive ascending-norm security rows share each pass over a wild
+	// column (default defaultBlockRows). Affects throughput and the Stats
+	// pruning counters, never the links.
+	BlockRows int
+	// ShardCols is the wild-pool shard width of the scan phase in
+	// norm-sorted columns (default defaultShardCols). Like BlockRows it
+	// moves cost between pruning stages but never changes the links, and —
+	// unlike Workers — it is part of the deterministic counter contract:
+	// Stats at a fixed (BlockRows, ShardCols) are identical at any worker
+	// count.
+	ShardCols int
+	// Quantize controls the uint8-quantized integer pre-screen of the
+	// blocked scan. nil (the default) resolves by screen width: the integer
+	// screen pays for itself when each candidate's float stripes are wide
+	// enough that the 8x-smaller quantized rows change the memory picture
+	// (>= quantAutoDims dimensions); at bench-scale widths the measured
+	// float ladder is strictly faster, so auto leaves it off. &true forces
+	// it on, &false off. Like BlockRows and ShardCols this moves rejections
+	// between stages (QuantPruned vs the float screens) but never changes
+	// the links.
+	Quantize *bool
 	// DisableNormalization skips the max-abs weighting (ablation only; the
 	// paper always normalizes).
 	DisableNormalization bool
@@ -76,16 +98,19 @@ type Stats struct {
 	// small fixed sample each row evaluates to seed its pruning bound.
 	DistanceEvals int64
 	// NormPruned counts candidates rejected by an O(1) norm-decomposed
-	// bound — the bulk norm-window break (counted per column skipped) or the
+	// bound — the bulk norm-window skip (counted per column skipped) or the
 	// per-candidate segment-norm bound — before any row data was touched.
 	NormPruned int64
+	// QuantPruned counts candidates rejected by the uint8-quantized integer
+	// prefix bound — after the norm bounds, before any float64 row data.
+	QuantPruned int64
 	// EarlyExited counts evaluations aborted by a partial-distance bound —
 	// the packed-prefix screen or the tail screen — before reaching the
 	// last dimension.
 	EarlyExited int64
-	// PrunedFraction is (NormPruned+EarlyExited) / candidates considered:
-	// the fraction of candidate pairs that never paid for a full
-	// d-dimensional evaluation.
+	// PrunedFraction is (NormPruned+QuantPruned+EarlyExited) / candidates
+	// considered: the fraction of candidate pairs that never paid for a
+	// full d-dimensional evaluation.
 	PrunedFraction float64
 	// HeapPops counts greedy-phase heap extractions.
 	HeapPops int
@@ -103,12 +128,13 @@ type Stats struct {
 func (s *Stats) addScan(c scanCounters) {
 	s.DistanceEvals += c.evals
 	s.NormPruned += c.normPruned
+	s.QuantPruned += c.quantPruned
 	s.EarlyExited += c.earlyExited
 }
 
 func (s *Stats) finish(start time.Time) {
-	if considered := s.NormPruned + s.DistanceEvals; considered > 0 {
-		s.PrunedFraction = float64(s.NormPruned+s.EarlyExited) / float64(considered)
+	if considered := s.NormPruned + s.QuantPruned + s.DistanceEvals; considered > 0 {
+		s.PrunedFraction = float64(s.NormPruned+s.QuantPruned+s.EarlyExited) / float64(considered)
 	}
 	//lint:ignore determinism Stats.Duration is telemetry-only; link selection never reads it
 	s.Duration = time.Since(start)
@@ -120,6 +146,7 @@ type Totals struct {
 	Searches       int
 	DistanceEvals  int64
 	NormPruned     int64
+	QuantPruned    int64
 	EarlyExited    int64
 	HeapPops       int
 	SecondBestHits int
@@ -132,6 +159,7 @@ func (t *Totals) Add(s Stats) {
 	t.Searches++
 	t.DistanceEvals += s.DistanceEvals
 	t.NormPruned += s.NormPruned
+	t.QuantPruned += s.QuantPruned
 	t.EarlyExited += s.EarlyExited
 	t.HeapPops += s.HeapPops
 	t.SecondBestHits += s.SecondBestHits
@@ -145,6 +173,7 @@ func (t *Totals) Merge(o Totals) {
 	t.Searches += o.Searches
 	t.DistanceEvals += o.DistanceEvals
 	t.NormPruned += o.NormPruned
+	t.QuantPruned += o.QuantPruned
 	t.EarlyExited += o.EarlyExited
 	t.HeapPops += o.HeapPops
 	t.SecondBestHits += o.SecondBestHits
@@ -155,11 +184,11 @@ func (t *Totals) Merge(o Totals) {
 // PrunedFraction is the aggregate fraction of candidate pairs rejected
 // before a full-dimensional evaluation.
 func (t Totals) PrunedFraction() float64 {
-	considered := t.NormPruned + t.DistanceEvals
+	considered := t.NormPruned + t.QuantPruned + t.DistanceEvals
 	if considered == 0 {
 		return 0
 	}
-	return float64(t.NormPruned+t.EarlyExited) / float64(considered)
+	return float64(t.NormPruned+t.QuantPruned+t.EarlyExited) / float64(considered)
 }
 
 // String renders the totals as a one-line engine summary.
@@ -306,23 +335,20 @@ func searchFlat(ctx context.Context, sec, wld *Matrix, opts *Options, owned bool
 	m, n := sec.rows, wld.rows
 
 	// Phase 1 — initial per-row (best, runner-up) minima (Algorithm 1
-	// lines 2-3), in parallel over rows. Each row makes one outward walk
-	// over the norm-sorted wild pool; rows are handed out in ascending norm
-	// order so consecutive rows walk strongly overlapping windows of the
-	// packed prefix array, keeping the hot data cache-resident. Visiting
-	// order does not matter for correctness: updates are lexicographic on
-	// (distance, original column) and all rejections are strictly
-	// conservative, so the result is identical to the reference's ascending
-	// scan (see kernel.go).
+	// lines 2-3) through the blocked, sharded candidate generator: seeded
+	// norm windows, then a task grid of (seed-row block × wild shard) cells
+	// whose per-shard two-bests merge into the global pairs (see block.go
+	// for the layout and the exactness argument). Visiting order does not
+	// matter for correctness: updates are lexicographic on (distance,
+	// original column) and all rejections are strictly conservative, so the
+	// result is identical to the reference's ascending scan (see kernel.go).
 	u := make([]float64, m)
 	v := make([]int, m)
 	u2 := make([]float64, m)
 	v2 := make([]int, m)
 	sv := make([]bool, m) // runner-up cache valid
-	if err := e.parallelRows(ctx, o.Workers, m, &stats, func(t int, c *scanCounters) {
-		i := e.secOrder[t]
-		u[i], v[i], u2[i], v2[i] = e.scanRowSorted2(i, nil, c)
-	}); err != nil {
+	plan := newBlockPlan(e, o)
+	if err := plan.runBlocked(ctx, o, &stats, u, v, u2, v2); err != nil {
 		return nil, err
 	}
 	for i := 0; i < m; i++ {
@@ -343,10 +369,7 @@ func searchFlat(ctx context.Context, sec, wld *Matrix, opts *Options, owned bool
 		total = n
 	}
 	links := make([]Link, 0, total)
-	h := newRowHeap(m)
-	for i := 0; i < m; i++ {
-		h.push(u[i], i)
-	}
+	h := heapifyRowHeap(u)
 	var rescanCounters scanCounters
 	assigned := 0
 	for assigned < total && h.len() > 0 {

@@ -3,6 +3,7 @@ package nearestlink
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
@@ -316,6 +317,83 @@ func TestSearchDeterministicAcrossWorkers(t *testing.T) {
 	for _, l := range l8 {
 		if m1[l.Security] != l.Wild {
 			t.Fatalf("worker count changed assignment for security %d", l.Security)
+		}
+	}
+}
+
+// TestStatsDeterministicAcrossWorkers pins the deterministic-counter
+// contract of the blocked scan: at a fixed (BlockRows, ShardCols) the task
+// grid, every task's visit order, and every pruning bound are independent of
+// the worker count, so the full Stats accounting — not just the links — must
+// be bit-identical at workers 1, 2, and 8. Duration is wall-clock telemetry
+// and is excluded.
+func TestStatsDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	sec := randRows(rng, 45, 12)
+	wild := randRows(rng, 700, 12)
+	on := true
+	for _, quant := range []*bool{nil, &on} {
+		// BlockRows 8 and ShardCols 128 give a 6x6 task grid at this shape,
+		// so the counters really do merge across many concurrently scanned
+		// cells.
+		base := Options{BlockRows: 8, ShardCols: 128, Quantize: quant}
+		var want Stats
+		var wantLinks []Link
+		for wi, workers := range []int{1, 2, 8} {
+			o := base
+			o.Workers = workers
+			var st Stats
+			o.Stats = &st
+			links, err := Search(bg, sec, wild, &o)
+			if err != nil {
+				t.Fatalf("quant=%v w=%d: %v", quant != nil, workers, err)
+			}
+			st.Duration = 0
+			if wi == 0 {
+				want, wantLinks = st, links
+				if quant != nil && st.QuantPruned == 0 {
+					t.Error("forced-on quantizer pruned nothing; counter contract untested")
+				}
+				continue
+			}
+			if st != want {
+				t.Errorf("quant=%v w=%d: stats diverge:\n got %+v\nwant %+v",
+					quant != nil, workers, st, want)
+			}
+			if len(links) != len(wantLinks) {
+				t.Fatalf("quant=%v w=%d: %d links, want %d", quant != nil, workers, len(links), len(wantLinks))
+			}
+			for k := range links {
+				if links[k] != wantLinks[k] {
+					t.Fatalf("quant=%v w=%d: link %d = %+v, want %+v",
+						quant != nil, workers, k, links[k], wantLinks[k])
+				}
+			}
+		}
+	}
+}
+
+// TestLinksInvariantAcrossBlockAndShard pins the other half of the contract:
+// BlockRows and ShardCols move pruning decisions between stages (the
+// counters may change) but may never change the links. Every combination —
+// including degenerate single-row blocks and shards smaller than one sweep
+// tile — must reproduce the reference assignment bit-for-bit.
+func TestLinksInvariantAcrossBlockAndShard(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	sec := genGrid(rng, 35, 9) // tie-heavy: the regime where a merge bug shows
+	wild := genGrid(rng, 900, 9)
+	want, err := ReferenceSearch(sec, wild, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blockRows := range []int{1, 3, 16, 64} {
+		for _, shardCols := range []int{32, 100, 1000} {
+			got, err := Search(bg, sec, wild,
+				&Options{Workers: 4, BlockRows: blockRows, ShardCols: shardCols})
+			if err != nil {
+				t.Fatalf("block=%d shard=%d: %v", blockRows, shardCols, err)
+			}
+			assertLinksIdentical(t, fmt.Sprintf("block=%d/shard=%d", blockRows, shardCols), 4, want, got)
 		}
 	}
 }

@@ -1,0 +1,247 @@
+package nearestlink
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantized pre-screen: a per-dimension affine uint8 quantization of both
+// matrices' screen-order rows, used as a pure-integer lower bound on dist2
+// before any float64 per-dimension work. Like every other rejection stage,
+// the screen is admissible: it can only drop candidates whose reference-
+// order distance is provably, strictly above the current pruning bound — a
+// true nearest neighbor (or an index-winning tie) can never be lost to it.
+//
+// The map is affine per dimension — its own offset lo_j — with one shared
+// bucket width step across all dimensions:
+//
+//	q_j(x) = clamp(⌊(x − lo_j) · (1/step)⌋, 0, 255)
+//
+// lo_j and the per-dimension span come from robust percentiles of a
+// deterministic strided sample of both matrices, so a long-tailed outlier
+// cannot flatten the resolution of the whole dimension; step is the widest
+// robust span divided by 255, which keeps every dimension's in-range
+// buckets inside [0, 255] while giving every dimension the same absolute
+// resolution. Out-of-range values saturate at bucket 0 or 255.
+//
+// Admissibility, per dimension. Saturation is equivalent to clamping x into
+// the bucket range first, and clamping is 1-Lipschitz — it can only shrink
+// |x − y| — so a lower bound derived from the saturated buckets understates
+// the true gap. For in-range values the computed bucket differs from the
+// ideal ⌊(x − lo_j)/step⌋ only through the rounding of the subtraction, the
+// stored reciprocal, and the multiply — relative error ε ≤ 5·2⁻⁵³ — so with
+// bucket gap k = |q_j(x) − q_j(y)| ≥ 2,
+//
+//	|x − y| ≥ step·((k−1) − ε·(q_j(x)+q_j(y)+1)) ≥ step·(k−1)·(1 − 511ε),
+//
+// i.e. (x−y)² ≥ step²·(k−1)²·(1 − 1.1e-12), and for k ≤ 1 the zero
+// contribution is trivially a lower bound. Summing over dimensions,
+// step²·Σ_j max(0, k_j−1)² understates dist2 by at most the same 1.1e-12
+// relative factor. The integer sum is exact — bounded by d·254² ≪ 2⁵³ — so
+// its float64 conversion at each early-exit checkpoint is exact, and the
+// single rounding of the scale multiply, together with the quantization
+// understatement and the reference-order summation error of dist2
+// (2γ₆₀ ≈ 1.3e-14), is absorbed with huge slack by the 1e-9 shade every
+// quantized rejection applies.
+//
+// The screen self-disables (ok=false) when no dimension has a finite,
+// non-degenerate robust span; a disabled screen rejects nothing.
+type quantizer struct {
+	ok    bool
+	d     int       // screen-order width (pw + tw)
+	lo    []float64 // per-dim affine offset (robust 2nd-percentile low)
+	inv   []float64 // per-chunk reciprocal bucket width 1/step; 0 disables
+	step2 []float64 // per-chunk step²: value-space factor for the chunk sum
+}
+
+// quantSample caps the per-side, per-dimension sample used for the robust
+// range fit; the stride is a pure function of the row count, so the fit is
+// deterministic for a given input.
+const quantSample = 4096
+
+// newQuantizer fits per-dimension offsets and the shared bucket width from
+// the packed screen-order stripes (prefix pw wide, tail tw wide) of both
+// matrices.
+func newQuantizer(pw, tw int, secP, secT, wldP, wldT []float64) quantizer {
+	d := pw + tw
+	nch := (d + quantChunk - 1) / quantChunk
+	q := quantizer{
+		d:     d,
+		lo:    make([]float64, d),
+		inv:   make([]float64, nch),
+		step2: make([]float64, nch),
+	}
+	sample := make([]float64, 0, 2*quantSample+2)
+	span := make([]float64, d)
+	for j := 0; j < d; j++ {
+		sample = sample[:0]
+		sample = appendDimSample(sample, secP, secT, pw, tw, j)
+		sample = appendDimSample(sample, wldP, wldT, pw, tw, j)
+		lo, hi, ok := robustRange(sample)
+		if !ok {
+			continue
+		}
+		q.lo[j] = lo
+		span[j] = hi - lo
+	}
+	for ci := 0; ci < nch; ci++ {
+		maxSpan := 0.0
+		for j := ci * quantChunk; j < d && j < (ci+1)*quantChunk; j++ {
+			if span[j] > maxSpan {
+				maxSpan = span[j]
+			}
+		}
+		step := maxSpan / 255
+		if step <= 0 || math.IsInf(step, 0) {
+			continue
+		}
+		q.ok = true
+		q.inv[ci] = 1 / step
+		q.step2[ci] = step * step
+	}
+	return q
+}
+
+// appendDimSample appends a strided sample of screen-order dimension j from
+// one matrix's packed (prefix, tail) stripes, keeping only finite values.
+func appendDimSample(dst []float64, packP, packT []float64, pw, tw, j int) []float64 {
+	var pack []float64
+	var w, off int
+	if j < pw {
+		pack, w, off = packP, pw, j
+	} else {
+		pack, w, off = packT, tw, j-pw
+	}
+	if w == 0 {
+		return dst
+	}
+	rows := len(pack) / w
+	stride := 1
+	if rows > quantSample {
+		stride = rows / quantSample
+	}
+	for r := 0; r < rows; r += stride {
+		v := pack[r*w+off]
+		if !math.IsInf(v, 0) && !math.IsNaN(v) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// robustRange returns the [2nd, 98th] percentile span of the sample — wide
+// enough to resolve the bulk of the mass, immune to long-tail outliers
+// (saturating outliers inward keeps the bound admissible; see the type
+// comment).
+func robustRange(sample []float64) (lo, hi float64, ok bool) {
+	if len(sample) < 8 {
+		return 0, 0, false
+	}
+	sort.Float64s(sample)
+	n := len(sample)
+	lo = sample[n*2/100]
+	hi = sample[n*98/100]
+	return lo, hi, hi > lo
+}
+
+// quantizeRow writes one row's bucket indices into dst (len d) from its
+// packed screen-order prefix and tail.
+func (q *quantizer) quantizeRow(dst []uint8, pre, tail []float64) {
+	pw := len(pre)
+	for j, v := range pre {
+		dst[j] = q.bucket(j, v)
+	}
+	for j, v := range tail {
+		dst[pw+j] = q.bucket(pw+j, v)
+	}
+}
+
+// bucket maps one value to its dimension-j bucket. The explicit comparisons
+// (never a raw conversion) send NaN and out-of-range values to a saturated
+// edge bucket.
+func (q *quantizer) bucket(j int, v float64) uint8 {
+	s := (v - q.lo[j]) * q.inv[j/quantChunk]
+	if !(s > 0) {
+		return 0
+	}
+	if s >= 255 {
+		return 255
+	}
+	return uint8(s)
+}
+
+// quantChunk is the kernel's chunk width: an early-exit checkpoint runs
+// after every quantChunk quantized dimensions.
+const quantChunk = 16
+
+// quantSuffixCount returns how many chunk boundaries of a width-d row have
+// dimensions after them — the length of the suffix-norm checkpoint arrays.
+func quantSuffixCount(d int) int {
+	c := 0
+	for quantChunk*(c+1) < d {
+		c++
+	}
+	return c
+}
+
+// reject reports whether the integer lower bound proves the candidate pair
+// strictly worse than bound. After every quantChunk dimensions it
+// checkpoints the integer partial sum PLUS the squared gap of the two
+// rows' remaining-dimension norms (sufA/sufB, one entry per boundary) —
+// by the reverse triangle inequality the remaining dimensions contribute
+// at least (‖a_suf‖−‖b_suf‖)², so the checkpoint is an admissible bound on
+// the full dist2. On screen-ordered stripes (descending variance first)
+// most rejections cost only the first chunk of uint8 work.
+func (q *quantizer) reject(a, b []uint8, sufA, sufB []float64, bound float64) bool {
+	total := 0.0
+	j, d := 0, len(a)
+	c := 0
+	for ; j+quantChunk <= d; j += quantChunk {
+		s := quantLBChunk(a[j:j+quantChunk:j+quantChunk], b[j:j+quantChunk:j+quantChunk])
+		total += float64(s) * q.step2[c]
+		var g float64
+		if c < len(sufA) {
+			g = sufA[c] - sufB[c]
+		}
+		if (total+g*g)*normBoundShade > bound {
+			return true
+		}
+		c++
+	}
+	if j < d {
+		var s int64
+		for ; j < d; j++ {
+			s += qterm(a[j], b[j])
+		}
+		total += float64(s) * q.step2[c]
+	}
+	return total*normBoundShade > bound
+}
+
+// quantLBChunk is the chunk-wide kernel: Σ max(0, |a−b|−1)² over one chunk.
+// The re-slicing drops every bounds check, and the two independent
+// accumulators break the integer-multiply latency chain.
+func quantLBChunk(a, b []uint8) int64 {
+	a = a[:quantChunk:quantChunk]
+	b = b[:quantChunk:quantChunk]
+	var s0, s1 int64
+	for j := 0; j < quantChunk; j += 2 {
+		s0 += qterm(a[j], b[j])
+		s1 += qterm(a[j+1], b[j+1])
+	}
+	return s0 + s1
+}
+
+// qterm is one dimension's term max(0, |a−b|−1)². Small enough to inline;
+// the branches compile to conditional moves.
+func qterm(a, b uint8) int64 {
+	d := int64(a) - int64(b)
+	if d < 0 {
+		d = -d
+	}
+	d--
+	if d <= 0 {
+		return 0
+	}
+	return d * d
+}

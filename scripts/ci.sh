@@ -1,8 +1,9 @@
 #!/bin/sh
 # scripts/ci.sh — the merge gate as one script, for environments without
 # GitHub Actions. Mirrors .github/workflows/ci.yml and `make ci`: build,
-# stock vet, the custom patchdb-lint suite, the test run, and the
-# race-enabled crash-safety suite. Exits non-zero on the first failure.
+# stock vet, the custom patchdb-lint suite, the test run, the race-enabled
+# crash-safety suite, and the fully-verified nearest-link engine smoke
+# sweep. Exits non-zero on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,5 +24,8 @@ echo "==> test"
 
 echo "==> verify-resume (kill-and-resume crash safety, race-enabled)"
 "$GO" test -race -count=1 ./internal/atomicio/ ./internal/checkpoint/ ./internal/experiments/resumebench/
+
+echo "==> bench-smoke (nearest-link engine, fully reference-verified)"
+"$GO" run ./cmd/patchdb-bench -only NEARESTLINK -smoke
 
 echo "ci: ok"
