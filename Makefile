@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-nearestlink bench-smoke bench-serve verify verify-chaos verify-telemetry verify-serve verify-resume ci clean
+.PHONY: build test vet lint race bench bench-nearestlink bench-smoke bench-serve verify verify-chaos verify-telemetry verify-serve verify-resume verify-obs ci clean
 
 build:
 	$(GO) build ./...
@@ -78,16 +78,26 @@ verify-serve:
 verify-resume:
 	$(GO) test -race -count=1 ./internal/atomicio/ ./internal/checkpoint/ ./internal/experiments/resumebench/
 
+# verify-obs runs the observability-correlation suite under the race
+# detector: structured-logging determinism, SLO burn-rate verdicts (window
+# edges, zero traffic, worker invariance), exposition goldens with
+# exemplars, Chrome trace export, and the end-to-end request-ID correlation
+# test (one slow request -> header + log + span + exemplar, one trace ID).
+verify-obs:
+	$(GO) test -race -count=1 -run 'Log|SLO|Exemplar|Exposition|OpenMetrics|Prom|RequestID|Correlation|ChromeTrace|Debug|Healthz|Slow' ./internal/telemetry/ ./internal/store/
+
 # verify is the full pre-merge tier: verify = vet + lint + chaos +
-# telemetry + serve + resume + race — stock and custom static analysis, the
-# fault-injection, telemetry, serving, and crash-safety suites, and the
-# race-enabled test suite (which subsumes the plain test run).
-verify: vet lint verify-chaos verify-telemetry verify-serve verify-resume race
+# telemetry + obs + serve + resume + race — stock and custom static
+# analysis, the fault-injection, telemetry, observability-correlation,
+# serving, and crash-safety suites, and the race-enabled test suite (which
+# subsumes the plain test run).
+verify: vet lint verify-chaos verify-telemetry verify-obs verify-serve verify-resume race
 
 # ci is the fast merge gate mirrored by .github/workflows/ci.yml and
 # scripts/ci.sh: build, both static-analysis tiers, the plain test run, the
-# race-enabled crash-safety suite, and the fully-verified engine smoke sweep.
-ci: build vet lint test verify-resume bench-smoke
+# race-enabled observability-correlation and crash-safety suites, and the
+# fully-verified engine smoke sweep.
+ci: build vet lint test verify-obs verify-resume bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -46,6 +46,7 @@ func run() error {
 		smoke     = flag.Bool("smoke", false, "NEARESTLINK only: run a tiny fully-verified shape and skip the artifact write (CI gate)")
 		telOut    = flag.String("telemetry-out", "", "write the BUILD experiment's RunReport JSON to this path (empty = disabled)")
 		telServe  = flag.String("serve-metrics", "", "serve /metrics and /debug/pprof on this address for the whole bench run (empty = disabled)")
+		traceOut  = flag.String("trace-out", "", "write the run's span tree as Chrome trace-event JSON to this path, viewable in chrome://tracing or Perfetto (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -117,6 +118,12 @@ func run() error {
 		fmt.Printf("[%s took %.1fs]\n\n", e.id, time.Since(t0).Seconds())
 	}
 	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+	if *traceOut != "" {
+		if err := hub.Tracer.WriteChromeTraceFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Println("wrote chrome trace", *traceOut)
+	}
 	return nil
 }
 

@@ -51,6 +51,7 @@ func run() error {
 		retries   = flag.Int("max-retries", 0, "per-download retry budget after the first attempt (0 = default 3, negative disables)")
 		failRatio = flag.Float64("max-failure-ratio", 0, "quarantined-download ratio that fails the build (0 = default 0.25, negative = never fail)")
 		telOut    = flag.String("telemetry-out", "", "write the end-of-run RunReport JSON to this path (empty = disabled; conventionally "+patchdb.DefaultRunReportPath+")")
+		traceOut  = flag.String("trace-out", "", "write the build's span tree as Chrome trace-event JSON to this path, viewable in chrome://tracing or Perfetto (empty = disabled)")
 		telServe  = flag.String("serve-metrics", "", "serve /metrics and /debug/pprof on this address for the duration of the build (empty = disabled)")
 		ckptDir   = flag.String("checkpoint-dir", "", "journal build state at every stage boundary into this directory (empty = disabled)")
 		resume    = flag.Bool("resume", false, "resume from the journal in -checkpoint-dir, skipping completed stages (refuses a journal from a different config)")
@@ -136,6 +137,12 @@ func run() error {
 
 	if *telOut != "" {
 		fmt.Println("wrote run report", *telOut)
+	}
+	if *traceOut != "" {
+		if err := hub.Tracer.WriteChromeTraceFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Println("wrote chrome trace", *traceOut)
 	}
 
 	if err := ds.SaveJSON(*out); err != nil {

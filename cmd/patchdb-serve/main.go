@@ -77,6 +77,9 @@ func run() error {
 	mux.Handle("/v1/", api)
 	mux.Handle("/reload", api)
 	mux.Handle("/healthz", api)
+	mux.Handle("/debug/slo", api)
+	mux.Handle("/debug/logs", api)
+	mux.Handle("/debug/status", api)
 	mux.Handle("/metrics", hub.MetricsHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -88,7 +91,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %s/v1/ (+/metrics, /debug/pprof/) — SIGHUP or POST /reload to swap snapshots\n", srv.URL)
+	fmt.Printf("serving %s/v1/ (+/metrics, /debug/status, /debug/slo, /debug/logs, /debug/pprof/) — SIGHUP or POST /reload to swap snapshots\n", srv.URL)
 
 	// Interrupt triggers graceful shutdown; SIGHUP swaps in a fresh
 	// snapshot without interrupting readers.

@@ -14,6 +14,8 @@
 //     their fields are dereferenced
 //   - atomicwrite: artifact-writing packages persist files through
 //     internal/atomicio's temp+fsync+rename, never direct os writes
+//   - logcanon: server/pipeline packages log through the telemetry hub's
+//     structured slog logger, never fmt.Print* or log.Print*
 //
 // The cmd/patchdb-lint CLI runs the suite over ./... and exits non-zero on
 // findings, making the invariants part of `make verify`.
@@ -41,7 +43,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, CtxLoop, ErrCanon, TelemetrySafe, AtomicWrite}
+	return []*Analyzer{Determinism, CtxLoop, ErrCanon, TelemetrySafe, AtomicWrite, LogCanon}
 }
 
 // Pass carries one analyzer's view of one package.

@@ -14,14 +14,21 @@ import (
 // internal/atomicio itself is the one sanctioned direct writer and is
 // deliberately outside this set.
 func artifactWriterPath(path string) bool {
-	switch path {
-	case "patchdb",
-		"patchdb/internal/telemetry",
-		"patchdb/internal/store":
+	if path == "patchdb" {
 		return true
 	}
-	return strings.HasPrefix(path, "patchdb/internal/checkpoint") ||
-		strings.HasPrefix(path, "patchdb/cmd/")
+	// Prefix matches so new subpackages of the covered trees (telemetry's
+	// exporters especially) are covered the moment they exist.
+	for _, prefix := range []string{
+		"patchdb/internal/telemetry",
+		"patchdb/internal/store",
+		"patchdb/internal/checkpoint",
+	} {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return strings.HasPrefix(path, "patchdb/cmd/")
 }
 
 // bannedOSWriters maps the os package's file-creating functions to the

@@ -160,6 +160,26 @@ func TestAtomicWriteAllowlistedPackage(t *testing.T) {
 	}
 }
 
+func TestLogCanonGolden(t *testing.T) {
+	runGolden(t, "internal/analysis/testdata/src/logcanon/a",
+		"patchdb/internal/store/lintgolden", []*Analyzer{LogCanon})
+}
+
+// TestLogCanonAllowlistedPackage loads the same violating source under a
+// package path outside the server/pipeline set and expects silence: CLIs and
+// experiment harnesses own their stdout and may print freely.
+func TestLogCanonAllowlistedPackage(t *testing.T) {
+	for _, path := range []string{
+		"patchdb/internal/lintgolden/logcanon",
+		"patchdb/cmd/lintgolden",
+	} {
+		pkg := loadTestPkg(t, "internal/analysis/testdata/src/logcanon/a", path)
+		if diags := Run([]*Package{pkg}, []*Analyzer{LogCanon}); len(diags) != 0 {
+			t.Errorf("allowlisted package %s reported %d diagnostics: %v", path, len(diags), diags)
+		}
+	}
+}
+
 // TestSuiteSelfCheck runs the full suite over the analyzer framework and the
 // patchdb-lint CLI: the linter must hold itself to the invariants it
 // enforces.

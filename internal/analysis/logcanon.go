@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hubLoggerPath reports whether an import path belongs to the long-running
+// server and pipeline packages whose diagnostics must flow through the
+// telemetry hub's structured logger: ad-hoc fmt.Print*/log.Print* output
+// there bypasses the /debug/logs ring, loses the correlation ID, and
+// interleaves rawly with the JSON stream operators actually collect. CLIs
+// (patchdb/cmd/...) own their stdout and are deliberately outside the set.
+func hubLoggerPath(path string) bool {
+	for _, prefix := range []string{
+		"patchdb/internal/store",
+		"patchdb/internal/pipeline",
+		"patchdb/internal/telemetry",
+		"patchdb/internal/nvd",
+		"patchdb/internal/retry",
+		"patchdb/internal/checkpoint",
+	} {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// bannedPrinters maps package import path to the package-level functions that
+// write unstructured output to process-global destinations. Writer-explicit
+// variants (fmt.Fprintf, fmt.Sprintf) are fine: they do not smuggle output
+// into stdout/stderr behind the caller's back.
+var bannedPrinters = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+	},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+// LogCanon enforces the logging canon of server and pipeline packages: all
+// diagnostic output goes through the telemetry hub's slog logger (structured,
+// correlated, ring-buffered on /debug/logs), never through fmt.Print* or the
+// stdlib log package's process-global printers. Test files are exempt —
+// t.Log output is the test harness's problem, and tests may print freely
+// while debugging.
+var LogCanon = &Analyzer{
+	Name: "logcanon",
+	Doc:  "server/pipeline packages must log via the telemetry hub's structured logger, not fmt.Print*/log.Print*",
+	Run:  runLogCanon,
+}
+
+func runLogCanon(pass *Pass) {
+	if !hubLoggerPath(pass.Pkg.ImportPath) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			banned, ok := bannedPrinters[fn.Pkg().Path()]
+			if !ok || !banned[fn.Name()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // a method that happens to be named Printf is fine
+			}
+			pass.Reportf(call.Pos(),
+				"%s.%s bypasses the hub's structured logger; use telemetry.Hub.Logger (slog)",
+				fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+}

@@ -22,7 +22,8 @@ var hubSafeConstructors = map[string]bool{
 
 // TelemetrySafe enforces the nil-safety contract of the telemetry layer:
 // every method on a telemetry type is a no-op on a nil receiver, but the
-// *telemetry.Hub struct exposes its Registry and Tracer as fields — a field
+// *telemetry.Hub struct exposes its Registry, Tracer, and Logs as fields — a
+// field
 // read through a nil hub panics. Config-supplied hubs are optional by
 // contract (nil means "no telemetry"), so a hub must be proven non-nil
 // before its fields are dereferenced: obtained from a never-nil constructor
@@ -64,7 +65,7 @@ func checkHubFieldAccess(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) {
 		return
 	}
 	field := sel.Sel.Name
-	if field != "Registry" && field != "Tracer" {
+	if field != "Registry" && field != "Tracer" && field != "Logs" {
 		return
 	}
 	if hubExprSafe(pass, sel.X, stack) {

@@ -20,6 +20,7 @@ import (
 	"patchdb/internal/diff"
 	"patchdb/internal/experiments"
 	"patchdb/internal/store"
+	"patchdb/internal/telemetry"
 )
 
 // ServeDataset assembles a serving-bench dataset from generated populations
@@ -72,9 +73,13 @@ type ServeBenchRow struct {
 
 // ServeBench is the SERVE experiment outcome.
 type ServeBench struct {
-	Records int             `json:"records"`
-	Workers int             `json:"workers"`
-	Rows    []ServeBenchRow `json:"rows"`
+	Records int `json:"records"`
+	Workers int `json:"workers"`
+	// ExemplarCapture records that the measured handler ran with full
+	// request correlation on — per-request IDs, spans, SLO accounting, and
+	// histogram exemplars — so the p50/p99 numbers price that overhead in.
+	ExemplarCapture bool            `json:"exemplar_capture"`
+	Rows            []ServeBenchRow `json:"rows"`
 }
 
 // serveRequestMix builds the deterministic request sequence the harness
@@ -192,15 +197,21 @@ func RunServeBench(s experiments.Scale, workers, requests int, shardCounts []int
 	ds := ServeDataset(s)
 	stats := ds.Stats()
 	out := &ServeBench{
-		Records: stats.NVD + stats.Wild + stats.NonSecurity + stats.Synthetic,
-		Workers: workers,
+		Records:         stats.NVD + stats.Wild + stats.NonSecurity + stats.Synthetic,
+		Workers:         workers,
+		ExemplarCapture: true,
 	}
 	paths := serveRequestMix(rand.New(rand.NewSource(s.Seed)), ds, requests)
 
 	for _, shards := range shardCounts {
-		st := store.New(shards, nil)
+		// A real hub (not nil) so the bench measures the serving path with
+		// exemplar capture, spans, and SLO accounting enabled — the numbers
+		// must price in the observability the production handler carries.
+		hub := telemetry.NewHub()
+		hub.SetLogger(nil) // ring only; keep bench stderr clean
+		st := store.New(shards, hub)
 		st.Load(ds)
-		srv, err := store.Serve("127.0.0.1:0", store.NewHandler(st, nil, nil))
+		srv, err := store.Serve("127.0.0.1:0", store.NewHandler(st, hub, nil))
 		if err != nil {
 			return nil, fmt.Errorf("serve bench (%d shards): %w", shards, err)
 		}

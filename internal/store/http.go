@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -27,6 +28,21 @@ const (
 // its (abandoned) output is discarded.
 const DefaultRequestTimeout = 30 * time.Second
 
+// DefaultSlowRequestThreshold is the latency above which a request earns a
+// warn-level log record carrying its trace ID, unless
+// WithSlowRequestThreshold overrides it.
+const DefaultSlowRequestThreshold = 250 * time.Millisecond
+
+// DefaultObjectives are the SLOs patchdb-serve ships with when WithSLOs is
+// not supplied: 99.9% availability, and 99% of requests within the slow
+// threshold.
+func DefaultObjectives() []telemetry.Objective {
+	return []telemetry.Objective{
+		{Name: "availability", Target: 0.999},
+		{Name: "latency", Target: 0.99, Threshold: DefaultSlowRequestThreshold},
+	}
+}
+
 // HandlerOption customizes NewHandler.
 type HandlerOption func(*api)
 
@@ -34,6 +50,30 @@ type HandlerOption func(*api)
 // disables the deadline entirely.
 func WithRequestTimeout(d time.Duration) HandlerOption {
 	return func(s *api) { s.timeout = d }
+}
+
+// WithSLOs replaces the default objectives with a caller-built evaluator
+// (e.g. one over an injected clock for deterministic verdicts in tests).
+func WithSLOs(slos *telemetry.SLOSet) HandlerOption {
+	return func(s *api) { s.slos = slos }
+}
+
+// WithSlowRequestThreshold sets the latency above which a request is logged
+// as slow; non-positive disables slow-request logging.
+func WithSlowRequestThreshold(d time.Duration) HandlerOption {
+	return func(s *api) { s.slow = d }
+}
+
+// WithRequestIDs replaces the request-ID generator used when a request
+// arrives without an X-Request-ID header (tests inject a sequential one).
+func WithRequestIDs(next func() string) HandlerOption {
+	return func(s *api) { s.newID = next }
+}
+
+// WithClock injects the clock behind snapshot-age and uptime arithmetic on
+// the status page (latency measurement stays monotonic wall time).
+func WithClock(now func() time.Time) HandlerOption {
+	return func(s *api) { s.now = now }
 }
 
 // NewHandler builds the versioned query API over st:
@@ -47,23 +87,52 @@ func WithRequestTimeout(d time.Duration) HandlerOption {
 //	GET  /v1/distribution   Table V pattern distribution
 //	POST /reload            swap in a fresh snapshot via the reload hook
 //	GET  /healthz           liveness
+//	GET  /debug/slo         current SLO burn-rate verdicts (JSON)
+//	GET  /debug/logs        last N structured log records (JSON)
+//	GET  /debug/status      self-contained HTML operator dashboard
 //
 // Every endpoint is instrumented into hub (request counters by endpoint and
-// status code, latency histograms, one span per request), wrapped in a
-// panic-recovery middleware (a panicking handler answers 500 and increments
-// MetricPanics instead of killing the process), and bounded by a per-request
-// deadline (DefaultRequestTimeout unless WithRequestTimeout overrides it; a
-// handler that overruns answers 503). reload is invoked by POST /reload;
+// status code, latency histograms with per-request exemplars, one span per
+// request), wrapped in a panic-recovery middleware (a panicking handler
+// answers 500 and increments MetricPanics instead of killing the process),
+// and bounded by a per-request deadline (DefaultRequestTimeout unless
+// WithRequestTimeout overrides it; a handler that overruns answers 503).
+// Every request is correlated: an inbound X-Request-ID is honored (minted
+// otherwise), echoed in the response headers and error bodies, attached to
+// the request's span, log records, and latency exemplar, and requests slower
+// than the slow threshold log a warn record carrying it. The /debug/*
+// endpoints are deliberately uninstrumented so dashboard polling cannot
+// spend the error budget they report on. reload is invoked by POST /reload;
 // pass nil to disable the endpoint (it then answers 501). A nil hub gets a
 // private one.
 func NewHandler(st *Store, hub *telemetry.Hub, reload func() (*Snapshot, error), opts ...HandlerOption) http.Handler {
 	if hub == nil {
 		hub = telemetry.NewHub()
 	}
-	s := &api{store: st, reg: hub.Registry, tracer: hub.Tracer, reload: reload, timeout: DefaultRequestTimeout}
+	s := &api{
+		store:   st,
+		reg:     hub.Registry,
+		tracer:  hub.Tracer,
+		logger:  hub.Logger(),
+		reload:  reload,
+		timeout: DefaultRequestTimeout,
+		slow:    DefaultSlowRequestThreshold,
+		newID:   telemetry.NewRequestID,
+		now:     time.Now,
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.slos == nil {
+		s.slos = telemetry.NewSLOSet(hub.Registry, hub.Logger(), nil, DefaultObjectives()...)
+	}
+	s.started = s.now()
+	hub.Registry.SetHelp(MetricRequests, "Requests served, by endpoint and status code.")
+	hub.Registry.SetHelp(MetricRequestSeconds, "Request latency in seconds, by endpoint.")
+	hub.Registry.SetHelp(MetricReloads, "Successful snapshot reloads.")
+	hub.Registry.SetHelp(MetricPanics, "Handler panics converted into 500s.")
+	hub.Registry.SetHelp("patchdb_slo_burn_rate", "Error-budget burn rate, by objective and window.")
+	hub.Registry.SetHelp("patchdb_slo_healthy", "1 while no burn-rate pair fires for the objective.")
 	mux := http.NewServeMux()
 	mux.Handle("GET /v1/patch/{id}", s.instrument("patch", s.handlePatch))
 	mux.Handle("GET /v1/cve/{cve}", s.instrument("cve", s.handleCVE))
@@ -72,6 +141,9 @@ func NewHandler(st *Store, hub *telemetry.Hub, reload func() (*Snapshot, error),
 	mux.Handle("GET /v1/distribution", s.instrument("distribution", s.handleDistribution))
 	mux.Handle("POST /reload", s.instrument("reload", s.handleReload))
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /debug/slo", s.slos.Handler())
+	mux.Handle("GET /debug/logs", hub.LogsHandler())
+	mux.Handle("GET /debug/status", s.statusHandler())
 	return mux
 }
 
@@ -81,8 +153,14 @@ type api struct {
 	store   *Store
 	reg     *telemetry.Registry
 	tracer  *telemetry.Tracer
+	logger  *slog.Logger
+	slos    *telemetry.SLOSet
 	reload  func() (*Snapshot, error)
 	timeout time.Duration
+	slow    time.Duration
+	newID   func() string
+	now     func() time.Time
+	started time.Time
 }
 
 // statusWriter captures the status code for the request counter, and whether
@@ -105,10 +183,13 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// instrument wraps an endpoint with a per-request span, a latency
-// observation, and a (endpoint, code) request counter, around the recovery
-// and deadline middlewares (outermost to innermost: metrics → recover →
-// timeout → handler, so a panic or deadline still lands in the counters).
+// instrument wraps an endpoint with request correlation (accept or mint an
+// X-Request-ID, echo it, carry it on the context), a per-request span, a
+// latency observation with the request's exemplar, SLO accounting, and a
+// (endpoint, code) request counter, around the recovery and deadline
+// middlewares (outermost to innermost: metrics → recover → timeout →
+// handler, so a panic or deadline still lands in the counters). Requests
+// slower than the slow threshold earn a warn log record with the trace ID.
 func (s *api) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	hist := s.reg.Histogram(MetricRequestSeconds, nil, telemetry.L("endpoint", endpoint))
 	var inner http.Handler = h
@@ -117,16 +198,39 @@ func (s *api) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	}
 	inner = s.recoverPanics(endpoint, inner)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, span := s.tracer.Start(r.Context(), "serve."+endpoint)
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			// newID is always set by NewHandler; the fallback keeps
+			// hand-assembled api values (tests) working.
+			if s.newID != nil {
+				id = s.newID()
+			} else {
+				id = telemetry.NewRequestID()
+			}
+		}
+		w.Header().Set("X-Request-ID", id)
+		ctx := telemetry.WithTraceID(r.Context(), id)
+		ctx, span := s.tracer.Start(ctx, "serve."+endpoint)
 		defer span.End()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		inner.ServeHTTP(sw, r.WithContext(ctx))
-		hist.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		hist.ObserveExemplar(elapsed.Seconds(), id)
+		s.slos.RecordRequest(sw.status, elapsed)
 		span.SetAttr("status", sw.status)
 		s.reg.Counter(MetricRequests,
 			telemetry.L("endpoint", endpoint),
 			telemetry.L("code", strconv.Itoa(sw.status))).Inc()
+		if s.slow > 0 && elapsed >= s.slow && s.logger != nil {
+			s.logger.LogAttrs(ctx, slog.LevelWarn, "slow request",
+				slog.String("endpoint", endpoint),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Duration("elapsed", elapsed),
+			)
+		}
 	})
 }
 
@@ -147,16 +251,19 @@ func (s *api) recoverPanics(endpoint string, next http.Handler) http.Handler {
 			}
 			s.reg.Counter(MetricPanics, telemetry.L("endpoint", endpoint)).Inc()
 			if sw, ok := w.(*statusWriter); !ok || !sw.wrote {
-				writeError(w, http.StatusInternalServerError, "internal error")
+				writeError(w, r, http.StatusInternalServerError, "internal error")
 			}
 		}()
 		next.ServeHTTP(w, r)
 	})
 }
 
-// errorBody is the JSON shape of every non-2xx API response.
+// errorBody is the JSON shape of every non-2xx API response. RequestID
+// repeats the response's X-Request-ID header so a client that only kept the
+// body can still quote the correlation ID when reporting the failure.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -169,15 +276,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+// writeError emits the error body with the request's correlation ID. The ID
+// comes from the context, not the response headers: http.TimeoutHandler
+// hands inner handlers a private header map, so the X-Request-ID set by the
+// instrument middleware is not visible through w here.
+func writeError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: telemetry.TraceIDFromContext(r.Context()),
+	})
 }
 
 func (s *api) handlePatch(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rec, ok := s.store.Snapshot().Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no patch with id %q", id)
+		writeError(w, r, http.StatusNotFound, "no patch with id %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
@@ -195,7 +309,7 @@ func (s *api) handleCVE(w http.ResponseWriter, r *http.Request) {
 	sn := s.store.Snapshot()
 	recs := sn.CVE(cve)
 	if len(recs) == 0 {
-		writeError(w, http.StatusNotFound, "no patches for %q", cve)
+		writeError(w, r, http.StatusNotFound, "no patches for %q", cve)
 		return
 	}
 	writeJSON(w, http.StatusOK, cveResponse{CVE: cve, Records: recs, Version: sn.Version})
@@ -236,16 +350,16 @@ func parseQuery(r *http.Request) (Query, error) {
 func (s *api) handlePatches(w http.ResponseWriter, r *http.Request) {
 	q, err := parseQuery(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	page, err := s.store.Snapshot().List(q)
 	if err != nil {
 		if errors.Is(err, ErrBadQuery) {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, r, http.StatusBadRequest, "%v", err)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, page)
@@ -307,12 +421,12 @@ type reloadResponse struct {
 
 func (s *api) handleReload(w http.ResponseWriter, r *http.Request) {
 	if s.reload == nil {
-		writeError(w, http.StatusNotImplemented, "no reload source configured")
+		writeError(w, r, http.StatusNotImplemented, "no reload source configured")
 		return
 	}
 	sn, err := s.reload()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "reload: %v", err)
+		writeError(w, r, http.StatusInternalServerError, "reload: %v", err)
 		return
 	}
 	s.reg.Counter(MetricReloads).Inc()
@@ -335,6 +449,11 @@ type healthResponse struct {
 	// LastReloadAt is the RFC 3339 time of the most recent load attempt,
 	// successful or not (omitted if none).
 	LastReloadAt string `json:"last_reload_at,omitempty"`
+	// RequestID echoes the response's X-Request-ID header, making the
+	// correlation contract visible to probes.
+	RequestID string `json:"request_id,omitempty"`
+	// SLO summarizes each active objective's current burn-rate verdict.
+	SLO []string `json:"slo,omitempty"`
 }
 
 func (s *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -345,6 +464,8 @@ func (s *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Records:            h.Records,
 		SnapshotAgeSeconds: -1,
 		LastReloadError:    h.LastReloadError,
+		RequestID:          telemetry.TraceIDFromContext(r.Context()),
+		SLO:                telemetry.Summary(s.slos.Evaluate()),
 	}
 	if !h.LoadedAt.IsZero() {
 		resp.SnapshotAgeSeconds = time.Since(h.LoadedAt).Seconds()

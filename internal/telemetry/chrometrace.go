@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"patchdb/internal/atomicio"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// chrome://tracing and Perfetto load). Only the "X" (complete) and "M"
+// (metadata) phases are emitted.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`            // microseconds, relative to the earliest span
+	Dur   int64          `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ChromeTraceJSON renders the buffered spans as Chrome trace-event JSON.
+// Spans are laid out on lanes (tid) greedily: each span takes the lowest
+// lane that is free at its start time, so overlapping work renders stacked
+// and sequential work renders flat.
+func (t *Tracer) ChromeTraceJSON() ([]byte, error) {
+	spans := t.Snapshot()
+	events := []chromeEvent{{
+		Name:  "process_name",
+		Phase: "M",
+		PID:   1,
+		Args:  map[string]any{"name": "patchdb"},
+	}}
+	var epoch int64 // earliest start in µs; keeps ts small and stable-offset
+	for i, s := range spans {
+		us := s.Start.UnixMicro()
+		if i == 0 || us < epoch {
+			epoch = us
+		}
+	}
+	var laneEnds []int64 // per-lane last end time in µs (absolute)
+	for _, s := range spans {
+		start := s.Start.UnixMicro()
+		end := start + s.DurationNS/1000
+		lane := -1
+		for i, e := range laneEnds {
+			if start >= e {
+				lane = i
+				break
+			}
+		}
+		if lane == -1 {
+			lane = len(laneEnds)
+			laneEnds = append(laneEnds, 0)
+		}
+		laneEnds[lane] = end
+		args := map[string]any{"id": s.ID}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		if s.Trace != "" {
+			args["trace"] = s.Trace
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		events = append(events, chromeEvent{
+			Name:  s.Name,
+			Phase: "X",
+			TS:    start - epoch,
+			Dur:   max(s.DurationNS/1000, 1), // zero-width events vanish in viewers
+			PID:   1,
+			TID:   lane + 1,
+			Args:  args,
+		})
+	}
+	return json.MarshalIndent(chromeTrace{TraceEvents: events}, "", " ")
+}
+
+// WriteChromeTraceFile exports the buffered spans as Chrome trace-event JSON
+// to path through the shared temp+fsync+rename helper.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	data, err := t.ChromeTraceJSON()
+	if err != nil {
+		return fmt.Errorf("telemetry: encode chrome trace: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(data)
+	buf.WriteByte('\n')
+	if err := atomicio.WriteFile(path, buf.Bytes()); err != nil {
+		return fmt.Errorf("telemetry: write chrome trace: %w", err)
+	}
+	return nil
+}

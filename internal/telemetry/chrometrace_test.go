@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// decodeChromeTrace validates data as Chrome trace-event JSON and returns
+// the events.
+func decodeChromeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if doc.TraceEvents == nil {
+		t.Fatal("trace output has no traceEvents array")
+	}
+	return doc.TraceEvents
+}
+
+// TestChromeTraceJSON builds a small span tree and checks the exported
+// events: a process-name metadata record, one complete ("X") event per span
+// with µs timestamps, and parent/trace correlation in args.
+func TestChromeTraceJSON(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := WithTraceID(context.Background(), "req-7")
+	ctx, root := tr.Start(ctx, "build")
+	cctx, child := tr.Start(ctx, "crawl")
+	child.SetAttr("items", 42)
+	_ = cctx
+	child.End()
+	root.End()
+
+	data, err := tr.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := decodeChromeTrace(t, data)
+	if len(events) != 3 { // metadata + 2 spans
+		t.Fatalf("got %d events, want 3: %v", len(events), events)
+	}
+	if events[0]["ph"] != "M" || events[0]["name"] != "process_name" {
+		t.Errorf("first event is not process metadata: %v", events[0])
+	}
+	byName := map[string]map[string]any{}
+	for _, e := range events[1:] {
+		if e["ph"] != "X" {
+			t.Errorf("span event phase = %v, want X", e["ph"])
+		}
+		if _, ok := e["ts"].(float64); !ok {
+			t.Errorf("event %v has no numeric ts", e)
+		}
+		if dur, ok := e["dur"].(float64); !ok || dur < 1 {
+			t.Errorf("event %v has no positive dur", e)
+		}
+		byName[e["name"].(string)] = e
+	}
+	crawl, ok := byName["crawl"]
+	if !ok {
+		t.Fatalf("no crawl event in %v", events)
+	}
+	args := crawl["args"].(map[string]any)
+	if args["trace"] != "req-7" {
+		t.Errorf("crawl args trace = %v, want req-7", args["trace"])
+	}
+	if args["parent"] == nil || args["items"] != float64(42) {
+		t.Errorf("crawl args = %v, want parent and items=42", args)
+	}
+	if buildArgs := byName["build"]["args"].(map[string]any); buildArgs["parent"] != nil {
+		t.Errorf("root span has parent %v", buildArgs["parent"])
+	}
+}
+
+// TestChromeTraceLanes checks sequential spans share a lane while
+// overlapping spans stack onto distinct ones.
+func TestChromeTraceLanes(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := context.Background()
+	// a and b overlap; c starts after both end.
+	_, a := tr.Start(ctx, "a")
+	_, b := tr.Start(ctx, "b")
+	time.Sleep(2 * time.Millisecond)
+	a.End()
+	b.End()
+	_, c := tr.Start(ctx, "c")
+	time.Sleep(time.Millisecond)
+	c.End()
+
+	data, err := tr.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tids := map[string]float64{}
+	for _, e := range decodeChromeTrace(t, data) {
+		if e["ph"] == "X" {
+			tids[e["name"].(string)] = e["tid"].(float64)
+		}
+	}
+	if tids["a"] == tids["b"] {
+		t.Errorf("overlapping spans share lane %v", tids["a"])
+	}
+	if tids["c"] != tids["a"] {
+		t.Errorf("sequential span c got lane %v, want reuse of %v", tids["c"], tids["a"])
+	}
+}
+
+// TestWriteChromeTraceFile checks the atomic file export round-trips.
+func TestWriteChromeTraceFile(t *testing.T) {
+	tr := NewTracer(16)
+	_, s := tr.Start(context.Background(), "work")
+	s.End()
+	path := filepath.Join(t.TempDir(), "sub", "trace.json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := decodeChromeTrace(t, data)
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+
+	// An empty tracer still produces a valid document.
+	empty := NewTracer(4)
+	data, err = empty.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeChromeTrace(t, data); len(got) != 1 {
+		t.Errorf("empty tracer exported %d events, want metadata only", len(got))
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// expositionRegistry builds the registry both exposition goldens share:
+// escaped label values, registered help text, and a histogram with
+// exemplars on two buckets.
+func expositionRegistry() *Registry {
+	reg := NewRegistry()
+	reg.SetHelp("patchdb_serve_requests_total", "Requests served, by endpoint and status code.")
+	reg.SetHelp("patchdb_serve_request_seconds", "Request latency in seconds.\nSecond line.")
+	reg.Counter("patchdb_serve_requests_total", L("endpoint", `quo"te`)).Add(7)
+	reg.Counter("patchdb_serve_requests_total", L("endpoint", "back\\slash\nnewline")).Add(2)
+	h := reg.Histogram("patchdb_serve_request_seconds", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "req-a")
+	h.ObserveExemplar(0.07, "req-b") // most recent wins within the bucket
+	h.Observe(0.5)                   // uncorrelated: bucket stays exemplar-free
+	h.ObserveExemplar(3, "req-c")
+	return reg
+}
+
+// TestWritePromEscapingGolden fixes the Prometheus (0.0.4) exposition:
+// HELP before TYPE, escaped label values and help text, and no exemplar
+// syntax (0.0.4 has none).
+func TestWritePromEscapingGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteProm(&sb, expositionRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP patchdb_serve_request_seconds Request latency in seconds.\nSecond line.
+# TYPE patchdb_serve_request_seconds histogram
+patchdb_serve_request_seconds_bucket{le="0.1"} 2
+patchdb_serve_request_seconds_bucket{le="1"} 3
+patchdb_serve_request_seconds_bucket{le="+Inf"} 4
+patchdb_serve_request_seconds_sum 3.62
+patchdb_serve_request_seconds_count 4
+# HELP patchdb_serve_requests_total Requests served, by endpoint and status code.
+# TYPE patchdb_serve_requests_total counter
+patchdb_serve_requests_total{endpoint="back\\slash\nnewline"} 2
+patchdb_serve_requests_total{endpoint="quo\"te"} 7
+`
+	if got := sb.String(); got != want {
+		t.Errorf("prom exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWriteOpenMetricsGolden fixes the OpenMetrics exposition: bucket lines
+// carry their most-recent exemplar in `# {trace_id="..."} value` syntax and
+// the stream ends with # EOF.
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteOpenMetrics(&sb, expositionRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP patchdb_serve_request_seconds Request latency in seconds.\nSecond line.
+# TYPE patchdb_serve_request_seconds histogram
+patchdb_serve_request_seconds_bucket{le="0.1"} 2 # {trace_id="req-b"} 0.07
+patchdb_serve_request_seconds_bucket{le="1"} 3
+patchdb_serve_request_seconds_bucket{le="+Inf"} 4 # {trace_id="req-c"} 3
+patchdb_serve_request_seconds_sum 3.62
+patchdb_serve_request_seconds_count 4
+# HELP patchdb_serve_requests_total Requests served, by endpoint and status code.
+# TYPE patchdb_serve_requests_total counter
+patchdb_serve_requests_total{endpoint="back\\slash\nnewline"} 2
+patchdb_serve_requests_total{endpoint="quo\"te"} 7
+# EOF
+`
+	if got := sb.String(); got != want {
+		t.Errorf("openmetrics exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMetricsHandlerNegotiation checks the Accept-header switch between the
+// two expositions.
+func TestMetricsHandlerNegotiation(t *testing.T) {
+	hub := NewHub()
+	hub.Registry.Histogram("x_seconds", []float64{1}).ObserveExemplar(0.5, "req-1")
+
+	get := func(accept string) (string, string) {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		hub.MetricsHandler().ServeHTTP(rr, req)
+		body, _ := io.ReadAll(rr.Body)
+		return rr.Header().Get("Content-Type"), string(body)
+	}
+
+	ct, body := get("")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("default content type = %q", ct)
+	}
+	if strings.Contains(body, "trace_id") || strings.Contains(body, "# EOF") {
+		t.Errorf("prom exposition leaked openmetrics syntax:\n%s", body)
+	}
+
+	ct, body = get("application/openmetrics-text; version=1.0.0")
+	if ct != OpenMetricsContentType {
+		t.Errorf("openmetrics content type = %q", ct)
+	}
+	if !strings.Contains(body, `# {trace_id="req-1"} 0.5`) {
+		t.Errorf("openmetrics exposition missing exemplar:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("openmetrics exposition missing # EOF terminator:\n%s", body)
+	}
+}
+
+// TestHistogramSnapshotExemplars checks exemplars ride along in registry
+// snapshots (and stay absent for uncorrelated histograms).
+func TestHistogramSnapshotExemplars(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("with_exemplars", []float64{1})
+	h.ObserveExemplar(0.5, "t-1")
+	reg.Histogram("without_exemplars", []float64{1}).Observe(0.5)
+	for _, p := range reg.Snapshot() {
+		switch p.Name {
+		case "with_exemplars":
+			if len(p.Histogram.Exemplars) != 2 || p.Histogram.Exemplars[0] != (Exemplar{Trace: "t-1", Value: 0.5}) {
+				t.Errorf("exemplars = %+v", p.Histogram.Exemplars)
+			}
+		case "without_exemplars":
+			if p.Histogram.Exemplars != nil {
+				t.Errorf("uncorrelated histogram grew exemplars: %+v", p.Histogram.Exemplars)
+			}
+		}
+	}
+}

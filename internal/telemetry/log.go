@@ -1,0 +1,291 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLogCapacity bounds the in-memory log ring of a NewHub logger.
+const DefaultLogCapacity = 512
+
+// LogRecord is one captured log record as stored in the ring buffer and
+// served on /debug/logs. Attrs flattens the record's (possibly grouped)
+// attributes into dotted keys, so the shape is stable regardless of how the
+// logger was derived.
+type LogRecord struct {
+	Time  time.Time `json:"time"`
+	Level string    `json:"level"`
+	Msg   string    `json:"msg"`
+	// Trace is the correlation ID in force when the record was emitted
+	// (WithTraceID or the current span), "" for uncorrelated records.
+	Trace string         `json:"trace,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// LogBuffer is a bounded ring of recent log records: once full, the oldest
+// records are dropped (and counted). A nil *LogBuffer ignores everything.
+type LogBuffer struct {
+	mu      sync.Mutex
+	cap     int
+	recs    []LogRecord
+	head    int // index of the oldest record when len(recs) == cap
+	dropped uint64
+}
+
+// NewLogBuffer creates a buffer keeping at most capacity records
+// (capacity <= 0 means DefaultLogCapacity).
+func NewLogBuffer(capacity int) *LogBuffer {
+	if capacity <= 0 {
+		capacity = DefaultLogCapacity
+	}
+	return &LogBuffer{cap: capacity}
+}
+
+// add appends one record, evicting the oldest when full.
+func (b *LogBuffer) add(rec LogRecord) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.recs) < b.cap {
+		b.recs = append(b.recs, rec)
+		return
+	}
+	b.recs[b.head] = rec
+	b.head = (b.head + 1) % b.cap
+	b.dropped++
+}
+
+// Records copies the buffered records, oldest first.
+func (b *LogBuffer) Records() []LogRecord {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]LogRecord, 0, len(b.recs))
+	out = append(out, b.recs[b.head:]...)
+	out = append(out, b.recs[:b.head]...)
+	return out
+}
+
+// Dropped counts records evicted from a full buffer.
+func (b *LogBuffer) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// logsResponse is the /debug/logs payload.
+type logsResponse struct {
+	Dropped uint64      `json:"dropped"`
+	Records []LogRecord `json:"records"`
+}
+
+// Handler serves the buffer's current contents as JSON ({"dropped": N,
+// "records": [...]}, oldest first) — the /debug/logs endpoint.
+func (b *LogBuffer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		recs := b.Records()
+		if recs == nil {
+			recs = []LogRecord{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		// The status line is already out; an encode failure here can only be
+		// a dead client, which the server loop surfaces on its own.
+		_ = enc.Encode(logsResponse{Dropped: b.Dropped(), Records: recs})
+	})
+}
+
+// LogHandlerOptions configures NewLogHandler.
+type LogHandlerOptions struct {
+	// Writer receives one JSON object per record (nil = ring buffer only).
+	Writer io.Writer
+	// Buffer keeps the last records for /debug/logs (nil = no ring).
+	Buffer *LogBuffer
+	// Level is the minimum level handled (nil = slog.LevelInfo).
+	Level slog.Leveler
+	// Clock stamps records (nil = time.Now). Inject a fixed clock for
+	// byte-deterministic log output in tests.
+	Clock func() time.Time
+}
+
+// logHandler is the hub's slog.Handler: it renders records as single-line
+// JSON, auto-attaches the context's correlation ID, and mirrors every record
+// into the ring buffer. The zero-allocation fast paths of stock handlers are
+// deliberately traded for a deterministic, test-friendly shape (map attrs
+// serialize with sorted keys).
+type logHandler struct {
+	opts   LogHandlerOptions
+	mu     *sync.Mutex // serializes Writer writes across derived handlers
+	attrs  []slog.Attr // pre-resolved WithAttrs state
+	groups []string    // open WithGroup scopes, outermost first
+}
+
+// NewLogHandler builds the JSON slog.Handler the Hub logger uses. With a
+// fixed Clock and a bytes.Buffer Writer the output is byte-deterministic.
+func NewLogHandler(opts LogHandlerOptions) slog.Handler {
+	return &logHandler{opts: opts, mu: &sync.Mutex{}}
+}
+
+func (h *logHandler) Enabled(_ context.Context, level slog.Level) bool {
+	min := slog.LevelInfo
+	if h.opts.Level != nil {
+		min = h.opts.Level.Level()
+	}
+	return level >= min
+}
+
+func (h *logHandler) Handle(ctx context.Context, r slog.Record) error {
+	now := r.Time
+	if h.opts.Clock != nil {
+		now = h.opts.Clock()
+	}
+	rec := LogRecord{
+		Time:  now.UTC(),
+		Level: r.Level.String(),
+		Msg:   r.Message,
+		Trace: TraceIDFromContext(ctx),
+	}
+	attrs := make(map[string]any)
+	for _, a := range h.attrs {
+		attrs[a.Key] = attrValue(a.Value)
+	}
+	prefix := ""
+	for _, g := range h.groups {
+		prefix += g + "."
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		attrs[prefix+a.Key] = attrValue(a.Value)
+		return true
+	})
+	if len(attrs) > 0 {
+		rec.Attrs = attrs
+	}
+	h.opts.Buffer.add(rec)
+	if h.opts.Writer == nil {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("telemetry: encode log record: %w", err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err = h.opts.Writer.Write(append(line, '\n'))
+	return err
+}
+
+func (h *logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	if len(attrs) == 0 {
+		return h
+	}
+	nh := *h
+	nh.attrs = append(append([]slog.Attr(nil), h.attrs...), prefixAttrs(h.groups, attrs)...)
+	return &nh
+}
+
+func (h *logHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	nh.groups = append(append([]string(nil), h.groups...), name)
+	return &nh
+}
+
+// prefixAttrs applies the open group scopes to attribute keys as dotted
+// prefixes (group.key), flattening nested slog groups the same way.
+func prefixAttrs(groups []string, attrs []slog.Attr) []slog.Attr {
+	prefix := ""
+	for _, g := range groups {
+		prefix += g + "."
+	}
+	out := make([]slog.Attr, 0, len(attrs))
+	for _, a := range attrs {
+		out = append(out, slog.Attr{Key: prefix + a.Key, Value: a.Value})
+	}
+	return out
+}
+
+// attrValue converts a resolved slog.Value into a JSON-friendly Go value.
+func attrValue(v slog.Value) any {
+	v = v.Resolve()
+	switch v.Kind() {
+	case slog.KindGroup:
+		m := make(map[string]any, len(v.Group()))
+		for _, a := range v.Group() {
+			m[a.Key] = attrValue(a.Value)
+		}
+		return m
+	case slog.KindDuration:
+		return v.Duration().String()
+	case slog.KindTime:
+		return v.Time()
+	default:
+		return v.Any()
+	}
+}
+
+// requestIDNonce distinguishes processes: request IDs stay unique-enough
+// across restarts without coordinating, so a trace ID in a log file names
+// one request, not one per process lifetime.
+var requestIDNonce = func() uint32 {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0 // degraded: IDs are still unique within the process
+	}
+	return binary.BigEndian.Uint32(b[:])
+}()
+
+var requestIDCounter atomic.Uint64
+
+// NewRequestID mints a process-unique correlation ID (an 8-hex-digit process
+// nonce plus a monotonic counter). The serving layer assigns one to every
+// request that does not carry its own X-Request-ID.
+func NewRequestID() string {
+	return fmt.Sprintf("%08x-%06d", requestIDNonce, requestIDCounter.Add(1))
+}
+
+// Logger returns the hub's structured logger. A nil hub (or a hub built
+// without one, e.g. a zero Hub literal) returns a discard logger, so
+// instrumentation points never guard against an absent sink.
+func (h *Hub) Logger() *slog.Logger {
+	if h == nil || h.logger == nil {
+		return slog.New(slog.DiscardHandler)
+	}
+	return h.logger
+}
+
+// SetLogger replaces the hub's logger (e.g. with one built from a custom
+// LogHandlerOptions). Call it during setup, before the hub is shared.
+func (h *Hub) SetLogger(l *slog.Logger) {
+	if h == nil {
+		return
+	}
+	h.logger = l
+}
+
+// LogsHandler serves the hub's log ring as JSON — the /debug/logs endpoint.
+// A nil hub (or one without a ring) serves an empty record list.
+func (h *Hub) LogsHandler() http.Handler {
+	if h == nil {
+		return (*LogBuffer)(nil).Handler()
+	}
+	return h.Logs.Handler()
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a clock stuck at a known instant.
+func fixedClock(t time.Time) func() time.Time {
+	return func() time.Time { return t }
+}
+
+// TestLogHandlerDeterministicGolden fixes the exact JSON output of the hub's
+// log handler under an injected clock: one line per record, sorted map keys,
+// UTC timestamps, and the context's trace ID auto-attached.
+func TestLogHandlerDeterministicGolden(t *testing.T) {
+	var buf bytes.Buffer
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	logger := slog.New(NewLogHandler(LogHandlerOptions{
+		Writer: &buf,
+		Clock:  fixedClock(at),
+	}))
+
+	ctx := WithTraceID(context.Background(), "req-42")
+	logger.InfoContext(ctx, "snapshot loaded", "version", 3, "records", 1200)
+	logger.WithGroup("reload").With("source", "sighup").WarnContext(ctx, "slow request", "elapsed", 300*time.Millisecond)
+	logger.Info("uncorrelated")
+
+	want := `{"time":"2026-08-08T12:00:00Z","level":"INFO","msg":"snapshot loaded","trace":"req-42","attrs":{"records":1200,"version":3}}
+{"time":"2026-08-08T12:00:00Z","level":"WARN","msg":"slow request","trace":"req-42","attrs":{"reload.elapsed":"300ms","reload.source":"sighup"}}
+{"time":"2026-08-08T12:00:00Z","level":"INFO","msg":"uncorrelated"}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("log output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestLogHandlerLevel checks the handler honors its minimum level (default
+// Info).
+func TestLogHandlerLevel(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewLogHandler(LogHandlerOptions{Writer: &buf}))
+	logger.Debug("below threshold")
+	if buf.Len() != 0 {
+		t.Errorf("debug record emitted at default level: %q", buf.String())
+	}
+	logger = slog.New(NewLogHandler(LogHandlerOptions{Writer: &buf, Level: slog.LevelDebug}))
+	logger.Debug("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Errorf("debug record missing at debug level: %q", buf.String())
+	}
+}
+
+// TestLogHandlerTraceFromSpan checks a record emitted under an active span
+// inherits the span's trace ID even without WithTraceID on the context.
+func TestLogHandlerTraceFromSpan(t *testing.T) {
+	buffer := NewLogBuffer(8)
+	logger := slog.New(NewLogHandler(LogHandlerOptions{Buffer: buffer}))
+	tr := NewTracer(8)
+	ctx := WithTraceID(context.Background(), "span-trace")
+	ctx, span := tr.Start(ctx, "work")
+	logger.InfoContext(ctx, "inside span")
+	span.End()
+	recs := buffer.Records()
+	if len(recs) != 1 || recs[0].Trace != "span-trace" {
+		t.Fatalf("got records %+v, want one with trace span-trace", recs)
+	}
+}
+
+// TestLogBufferWrap checks ring eviction: capacity 3, five records, the
+// oldest two dropped and counted.
+func TestLogBufferWrap(t *testing.T) {
+	b := NewLogBuffer(3)
+	for i := range 5 {
+		b.add(LogRecord{Msg: fmt.Sprintf("m%d", i)})
+	}
+	recs := b.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	for i, want := range []string{"m2", "m3", "m4"} {
+		if recs[i].Msg != want {
+			t.Errorf("record %d = %q, want %q (oldest first)", i, recs[i].Msg, want)
+		}
+	}
+	if b.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", b.Dropped())
+	}
+}
+
+// TestLogsHandler checks the /debug/logs payload shape.
+func TestLogsHandler(t *testing.T) {
+	hub := NewHub()
+	hub.Logger().Info("hello", "k", "v")
+	rr := httptest.NewRecorder()
+	hub.LogsHandler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/logs", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var resp struct {
+		Dropped uint64      `json:"dropped"`
+		Records []LogRecord `json:"records"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode /debug/logs: %v", err)
+	}
+	if len(resp.Records) != 1 || resp.Records[0].Msg != "hello" {
+		t.Errorf("records = %+v, want one 'hello'", resp.Records)
+	}
+	if resp.Records[0].Attrs["k"] != "v" {
+		t.Errorf("attrs = %+v, want k=v", resp.Records[0].Attrs)
+	}
+}
+
+// TestHubLoggerNilSafety: a nil hub and a zero hub both hand back a working
+// discard logger; a nil buffer ignores adds; the nil LogsHandler serves an
+// empty list.
+func TestHubLoggerNilSafety(t *testing.T) {
+	var nilHub *Hub
+	nilHub.Logger().Info("into the void")
+	nilHub.SetLogger(slog.New(slog.DiscardHandler))
+	(&Hub{}).Logger().Info("also fine")
+	var nilBuf *LogBuffer
+	nilBuf.add(LogRecord{Msg: "dropped"})
+	if nilBuf.Records() != nil || nilBuf.Dropped() != 0 {
+		t.Error("nil buffer should be empty")
+	}
+	rr := httptest.NewRecorder()
+	nilHub.LogsHandler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/logs", nil))
+	if rr.Code != http.StatusOK {
+		t.Errorf("nil hub /debug/logs status = %d", rr.Code)
+	}
+}
+
+// TestNewRequestIDUnique checks concurrent ID minting never collides.
+func TestNewRequestIDUnique(t *testing.T) {
+	const n = 200
+	ids := make(chan string, n)
+	var wg sync.WaitGroup
+	for range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range n / 4 {
+				ids <- NewRequestID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate request ID %s", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d unique IDs, want %d", len(seen), n)
+	}
+}

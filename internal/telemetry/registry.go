@@ -13,7 +13,9 @@ package telemetry
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -120,10 +122,29 @@ type Histogram struct {
 	counts []uint64 // len(bounds)+1; last is the +Inf overflow bucket
 	sum    float64
 	count  uint64
+	// exemplars keeps the most recent correlated observation per bucket
+	// (zero-value entries mean "no exemplar yet"); lazily allocated on the
+	// first ObserveExemplar so uncorrelated histograms pay nothing.
+	exemplars []Exemplar
+}
+
+// Exemplar links one bucket of a histogram to the trace that produced its
+// most recent observation, so a latency spike on a dashboard resolves to a
+// concrete request.
+type Exemplar struct {
+	Trace string  `json:"trace"`
+	Value float64 `json:"value"`
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveExemplar(v, "")
+}
+
+// ObserveExemplar records one value and, when trace is non-empty, remembers
+// (trace, v) as the bucket's exemplar — the most recent correlated
+// observation wins.
+func (h *Histogram) ObserveExemplar(v float64, trace string) {
 	if h == nil || math.IsNaN(v) {
 		return
 	}
@@ -133,6 +154,13 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.count++
+	if trace == "" {
+		return
+	}
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(h.counts))
+	}
+	h.exemplars[i] = Exemplar{Trace: trace, Value: v}
 }
 
 // Snapshot copies the histogram state.
@@ -142,12 +170,16 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return HistogramSnapshot{
+	s := HistogramSnapshot{
 		Bounds: append([]float64(nil), h.bounds...),
 		Counts: append([]uint64(nil), h.counts...),
 		Sum:    h.sum,
 		Count:  h.count,
 	}
+	if h.exemplars != nil {
+		s.Exemplars = append([]Exemplar(nil), h.exemplars...)
+	}
+	return s
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram.
@@ -159,6 +191,9 @@ type HistogramSnapshot struct {
 	Counts []uint64 `json:"counts"`
 	Sum    float64  `json:"sum"`
 	Count  uint64   `json:"count"`
+	// Exemplars, when present, has len(Counts) entries aligned with Counts;
+	// an entry with an empty Trace means that bucket has no exemplar.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // DefDurationBuckets is the default latency histogram layout (seconds):
@@ -172,6 +207,8 @@ type MetricPoint struct {
 	Name   string  `json:"name"`
 	Labels []Label `json:"labels,omitempty"`
 	Kind   Kind    `json:"kind"`
+	// Help is the family's registered help text ("" if none was set).
+	Help string `json:"help,omitempty"`
 	// Value always serializes (a zero counter is real state, not absence).
 	Value     float64            `json:"value"`
 	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
@@ -196,6 +233,7 @@ type entry struct {
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*entry
+	help    map[string]string // family name -> # HELP text
 }
 
 // NewRegistry creates an empty registry.
@@ -245,6 +283,20 @@ func (r *Registry) lookup(name string, labels []Label, kind Kind, mk func(e *ent
 		panic(fmt.Sprintf("telemetry: metric %s already registered as %s, requested %s", id, e.kind, kind))
 	}
 	return e
+}
+
+// SetHelp registers the # HELP text for a metric family; the exposition
+// formats emit it ahead of the family's # TYPE line.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	r.help[name] = help
 }
 
 // Counter returns the counter for (name, labels), creating it on first use.
@@ -301,11 +353,15 @@ func (r *Registry) Snapshot() []MetricPoint {
 	for _, id := range ids {
 		entries = append(entries, r.metrics[id])
 	}
+	help := make(map[string]string, len(r.help))
+	for name, h := range r.help {
+		help[name] = h
+	}
 	r.mu.Unlock()
 
 	out := make([]MetricPoint, 0, len(entries))
 	for _, e := range entries {
-		p := MetricPoint{Name: e.name, Labels: e.labels, Kind: e.kind}
+		p := MetricPoint{Name: e.name, Labels: e.labels, Kind: e.kind, Help: help[e.name]}
 		switch e.kind {
 		case KindCounter:
 			p.Value = e.counter.Value()
@@ -320,16 +376,30 @@ func (r *Registry) Snapshot() []MetricPoint {
 	return out
 }
 
-// Hub bundles the two telemetry sinks a run instruments into: the metrics
-// registry and the span tracer.
+// Hub bundles the telemetry sinks a run instruments into: the metrics
+// registry, the span tracer, and the structured log ring behind the Logger
+// method.
 type Hub struct {
 	Registry *Registry
 	Tracer   *Tracer
+	// Logs keeps the most recent log records for /debug/logs (nil on a hub
+	// built without logging; the Logger method then discards).
+	Logs *LogBuffer
+
+	logger *slog.Logger
 }
 
-// NewHub creates a hub with a fresh registry and a default-capacity tracer.
+// NewHub creates a hub with a fresh registry, a default-capacity tracer, and
+// a JSON logger that writes to stderr and mirrors into a default-capacity
+// log ring.
 func NewHub() *Hub {
-	return &Hub{Registry: NewRegistry(), Tracer: NewTracer(DefaultTraceCapacity)}
+	logs := NewLogBuffer(DefaultLogCapacity)
+	return &Hub{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(DefaultTraceCapacity),
+		Logs:     logs,
+		logger:   slog.New(NewLogHandler(LogHandlerOptions{Writer: os.Stderr, Buffer: logs})),
+	}
 }
 
 // defaultHub is the process-wide hub used when a context carries none.

@@ -14,14 +14,42 @@ import (
 	"time"
 )
 
+// OpenMetricsContentType is the content type of the OpenMetrics text
+// exposition (the format that carries exemplars).
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // WriteProm renders the registry's current state in the Prometheus text
-// exposition format (version 0.0.4): a # TYPE line per metric family, then
-// one sample line per instance, deterministically ordered.
+// exposition format (version 0.0.4): a # HELP line (when registered) and a
+// # TYPE line per metric family, then one sample line per instance,
+// deterministically ordered. The 0.0.4 format has no exemplar syntax; use
+// WriteOpenMetrics for exemplars.
 func WriteProm(w io.Writer, r *Registry) error {
+	return writeExposition(w, r, false)
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics text exposition:
+// HELP/TYPE metadata, sample lines, histogram bucket exemplars in the
+// `# {trace_id="..."} value` syntax, and the terminating # EOF marker.
+func WriteOpenMetrics(w io.Writer, r *Registry) error {
+	if err := writeExposition(w, r, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// writeExposition is the shared family walk of both text formats; openMetrics
+// selects exemplar emission.
+func writeExposition(w io.Writer, r *Registry, openMetrics bool) error {
 	points := r.Snapshot()
 	lastFamily := ""
 	for _, p := range points {
 		if p.Name != lastFamily {
+			if p.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, escapeHelp(p.Help)); err != nil {
+					return err
+				}
+			}
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind); err != nil {
 				return err
 			}
@@ -30,7 +58,7 @@ func WriteProm(w io.Writer, r *Registry) error {
 		var err error
 		switch p.Kind {
 		case KindHistogram:
-			err = writePromHistogram(w, p)
+			err = writePromHistogram(w, p, openMetrics)
 		default:
 			_, err = fmt.Fprintf(w, "%s%s %s\n", p.Name, promLabels(p.Labels, "", 0), promFloat(p.Value))
 		}
@@ -42,17 +70,27 @@ func WriteProm(w io.Writer, r *Registry) error {
 }
 
 // writePromHistogram emits cumulative _bucket series plus _sum and _count.
-func writePromHistogram(w io.Writer, p MetricPoint) error {
+// In OpenMetrics mode each bucket line carries its exemplar (most recent
+// correlated observation) when one exists.
+func writePromHistogram(w io.Writer, p MetricPoint, openMetrics bool) error {
 	h := p.Histogram
+	exemplar := func(i int) string {
+		if !openMetrics || i >= len(h.Exemplars) || h.Exemplars[i].Trace == "" {
+			return ""
+		}
+		e := h.Exemplars[i]
+		return fmt.Sprintf(" # {trace_id=\"%s\"} %s", escapeLabelValue(e.Trace), promFloat(e.Value))
+	}
 	cum := uint64(0)
 	for i, b := range h.Bounds {
 		cum += h.Counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, "le", b), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", p.Name, promLabels(p.Labels, "le", b), cum, exemplar(i)); err != nil {
 			return err
 		}
 	}
-	cum += h.Counts[len(h.Bounds)]
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, "le", math.Inf(1)), cum); err != nil {
+	last := len(h.Bounds)
+	cum += h.Counts[last]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", p.Name, promLabels(p.Labels, "le", math.Inf(1)), cum, exemplar(last)); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", p.Name, promLabels(p.Labels, "", 0), promFloat(h.Sum)); err != nil {
@@ -61,6 +99,18 @@ func writePromHistogram(w io.Writer, p MetricPoint) error {
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, promLabels(p.Labels, "", 0), h.Count)
 	return err
 }
+
+// labelEscaper implements the exposition-format escaping for label values:
+// backslash, double quote, and newline. (Go's %q escapes more — e.g.
+// non-ASCII — which scrapers would read back literally.)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// helpEscaper implements # HELP text escaping: backslash and newline only
+// (quotes are legal in help text).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+func escapeHelp(v string) string       { return helpEscaper.Replace(v) }
 
 // promLabels renders a label set (plus an optional trailing le bound) as
 // {k="v",...}, or "" when empty.
@@ -74,13 +124,13 @@ func promLabels(labels []Label, le string, bound float64) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		fmt.Fprintf(&b, "%s=\"%s\"", l.Key, escapeLabelValue(l.Value))
 	}
 	if le != "" {
 		if len(labels) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", le, promFloat(bound))
+		fmt.Fprintf(&b, "%s=\"%s\"", le, promFloat(bound))
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -97,15 +147,24 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// MetricsHandler serves the hub's registry in Prometheus text format.
+// MetricsHandler serves the hub's registry: Prometheus text format by
+// default, the OpenMetrics exposition (which carries histogram exemplars)
+// when the request's Accept header asks for application/openmetrics-text.
 func (h *Hub) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		var reg *Registry
 		if h != nil {
 			reg = h.Registry
 		}
-		if err := WriteProm(w, reg); err != nil {
+		var err error
+		if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			err = WriteOpenMetrics(w, reg)
+		} else {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			err = WriteProm(w, reg)
+		}
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

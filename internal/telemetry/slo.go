@@ -1,0 +1,322 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// sloBucket is the ring resolution of an SLO's good/total counts. Windows are
+// multiples of it, so every burn-rate window edge lands exactly on a bucket
+// boundary and verdicts are reproducible under an injected clock.
+const sloBucket = 10 * time.Second
+
+// sloRetention bounds the ring: the longest window any burn pair evaluates.
+const sloRetention = 6 * time.Hour
+
+// BurnWindow is one (short, long) multi-window burn-rate pair with its page
+// threshold, per the standard multiwindow/multi-burn-rate alerting policy:
+// the short window confirms the long window's burn is still happening.
+type BurnWindow struct {
+	Short     time.Duration
+	Long      time.Duration
+	Threshold float64 // burn rate at which the pair fires
+}
+
+// DefaultBurnWindows are the canonical fast (5m/1h @ 14.4x) and slow
+// (30m/6h @ 6x) pairs.
+var DefaultBurnWindows = []BurnWindow{
+	{Short: 5 * time.Minute, Long: time.Hour, Threshold: 14.4},
+	{Short: 30 * time.Minute, Long: 6 * time.Hour, Threshold: 6},
+}
+
+// Objective declares one service-level objective. Threshold == 0 means an
+// availability objective (a request is good unless it 5xxs); Threshold > 0
+// means a latency objective (a request is good iff it finishes within
+// Threshold).
+type Objective struct {
+	Name      string        `json:"name"`
+	Target    float64       `json:"target"` // e.g. 0.999
+	Threshold time.Duration `json:"threshold,omitempty"`
+}
+
+// WindowBurn is the evaluated state of one objective over one time window.
+type WindowBurn struct {
+	Window    string  `json:"window"` // e.g. "5m", "1h"
+	Good      uint64  `json:"good"`
+	Total     uint64  `json:"total"`
+	ErrorRate float64 `json:"error_rate"`
+	// BurnRate is ErrorRate divided by the objective's error budget
+	// (1 - Target): 1.0 means budget is being spent exactly at the rate that
+	// exhausts it over the SLO period; 14.4 means 14.4x too fast.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// Verdict is one objective's full evaluation: per-window burns plus the
+// overall healthy bit (no burn pair has both windows over threshold).
+type Verdict struct {
+	Name      string       `json:"name"`
+	Target    float64      `json:"target"`
+	Threshold string       `json:"threshold,omitempty"`
+	Healthy   bool         `json:"healthy"`
+	FastBurn  bool         `json:"fast_burn"`
+	SlowBurn  bool         `json:"slow_burn"`
+	Windows   []WindowBurn `json:"windows"`
+}
+
+// slo is one objective's counting state: a ring of per-bucket (good, total)
+// counts. Only sums are kept per bucket, so the evaluated state is invariant
+// to how many goroutines recorded into it — worker-count determinism falls
+// out of the arithmetic, not of scheduling.
+type slo struct {
+	obj   Objective
+	good  []uint64
+	total []uint64
+	// bucketIdx is the absolute bucket index (unix time / sloBucket) the ring
+	// head currently represents, or -1 before the first record/evaluate.
+	bucketIdx int64
+}
+
+// SLOSet evaluates a set of objectives over a shared clock. A nil *SLOSet
+// ignores RecordRequest and evaluates to no verdicts.
+type SLOSet struct {
+	mu     sync.Mutex
+	slos   []*slo
+	pairs  []BurnWindow
+	reg    *Registry
+	logger *slog.Logger
+	clock  func() time.Time
+	// lastHealthy tracks each objective's previous verdict so transitions
+	// (healthy<->burning) emit exactly one log record each.
+	lastHealthy map[string]bool
+}
+
+// NewSLOSet builds an evaluator for objs using DefaultBurnWindows. Verdict
+// gauges publish into reg (nil = none), transitions log to logger (nil =
+// none), and clock drives all windowing (nil = time.Now) — inject a fixed
+// clock for deterministic verdicts.
+func NewSLOSet(reg *Registry, logger *slog.Logger, clock func() time.Time, objs ...Objective) *SLOSet {
+	if clock == nil {
+		clock = time.Now
+	}
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	n := int(sloRetention / sloBucket)
+	s := &SLOSet{
+		pairs:       DefaultBurnWindows,
+		reg:         reg,
+		logger:      logger,
+		clock:       clock,
+		lastHealthy: make(map[string]bool),
+	}
+	for _, o := range objs {
+		s.slos = append(s.slos, &slo{obj: o, good: make([]uint64, n), total: make([]uint64, n), bucketIdx: -1})
+		s.lastHealthy[o.Name] = true
+	}
+	return s
+}
+
+// Objectives returns the declared objectives in registration order.
+func (s *SLOSet) Objectives() []Objective {
+	if s == nil {
+		return nil
+	}
+	out := make([]Objective, len(s.slos))
+	for i, o := range s.slos {
+		out[i] = o.obj
+	}
+	return out
+}
+
+// advance rolls o's ring forward to the absolute bucket index now occupies,
+// zeroing every bucket skipped over. Caller holds s.mu.
+func (o *slo) advance(idx int64) {
+	n := int64(len(o.good))
+	if o.bucketIdx < 0 {
+		o.bucketIdx = idx
+		return
+	}
+	if idx <= o.bucketIdx {
+		return // clock stalled or rewound: keep counting into the head bucket
+	}
+	steps := idx - o.bucketIdx
+	if steps >= n {
+		for i := range o.good {
+			o.good[i], o.total[i] = 0, 0
+		}
+	} else {
+		for i := o.bucketIdx + 1; i <= idx; i++ {
+			o.good[i%n], o.total[i%n] = 0, 0
+		}
+	}
+	o.bucketIdx = idx
+}
+
+// RecordRequest feeds one finished request into every objective: status
+// determines availability goodness (good unless >= 500), latency determines
+// threshold goodness.
+func (s *SLOSet) RecordRequest(status int, latency time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.clock().UnixNano() / int64(sloBucket)
+	for _, o := range s.slos {
+		o.advance(idx)
+		i := o.bucketIdx % int64(len(o.good))
+		o.total[i]++
+		good := status < 500
+		if o.obj.Threshold > 0 {
+			good = latency <= o.obj.Threshold
+		}
+		if good {
+			o.good[i]++
+		}
+	}
+}
+
+// window sums the most recent d worth of buckets, including the current one.
+// Caller holds s.mu.
+func (o *slo) window(d time.Duration) (good, total uint64) {
+	if o.bucketIdx < 0 {
+		return 0, 0
+	}
+	n := int64(len(o.good))
+	buckets := int64(d / sloBucket)
+	if buckets > n {
+		buckets = n
+	}
+	for i := int64(0); i < buckets; i++ {
+		j := (o.bucketIdx - i) % n
+		if j < 0 {
+			j += n
+		}
+		good += o.good[j]
+		total += o.total[j]
+	}
+	return good, total
+}
+
+// burn evaluates one window: zero traffic burns nothing (a quiet service is
+// inside its objective, and 0/0 must not become NaN).
+func (o *slo) burn(d time.Duration, label string) WindowBurn {
+	good, total := o.window(d)
+	wb := WindowBurn{Window: label, Good: good, Total: total}
+	if total == 0 {
+		return wb
+	}
+	wb.ErrorRate = float64(total-good) / float64(total)
+	if budget := 1 - o.obj.Target; budget > 0 {
+		wb.BurnRate = wb.ErrorRate / budget
+	}
+	return wb
+}
+
+// Evaluate computes every objective's verdict at the current clock, publishes
+// patchdb_slo_burn_rate / patchdb_slo_healthy gauges, and logs each
+// healthy<->burning transition once.
+func (s *SLOSet) Evaluate() []Verdict {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.clock().UnixNano() / int64(sloBucket)
+	verdicts := make([]Verdict, 0, len(s.slos))
+	for _, o := range s.slos {
+		o.advance(idx)
+		v := Verdict{Name: o.obj.Name, Target: o.obj.Target, Healthy: true}
+		if o.obj.Threshold > 0 {
+			v.Threshold = o.obj.Threshold.String()
+		}
+		burns := make(map[time.Duration]WindowBurn)
+		for _, p := range s.pairs {
+			for _, d := range []time.Duration{p.Short, p.Long} {
+				if _, ok := burns[d]; !ok {
+					wb := o.burn(d, d.String())
+					burns[d] = wb
+					v.Windows = append(v.Windows, wb)
+					if s.reg != nil {
+						s.reg.Gauge("patchdb_slo_burn_rate",
+							Label{Key: "slo", Value: o.obj.Name},
+							Label{Key: "window", Value: wb.Window},
+						).Set(wb.BurnRate)
+					}
+				}
+			}
+			firing := burns[p.Short].BurnRate >= p.Threshold && burns[p.Long].BurnRate >= p.Threshold
+			if firing {
+				v.Healthy = false
+				if p.Short <= 5*time.Minute {
+					v.FastBurn = true
+				} else {
+					v.SlowBurn = true
+				}
+			}
+		}
+		if s.reg != nil {
+			g := s.reg.Gauge("patchdb_slo_healthy", Label{Key: "slo", Value: o.obj.Name})
+			if v.Healthy {
+				g.Set(1)
+			} else {
+				g.Set(0)
+			}
+		}
+		if was, ok := s.lastHealthy[o.obj.Name]; ok && was != v.Healthy {
+			level := slog.LevelWarn
+			msg := "slo burn-rate alert firing"
+			if v.Healthy {
+				level = slog.LevelInfo
+				msg = "slo recovered"
+			}
+			s.logger.LogAttrs(context.Background(), level, msg,
+				slog.String("slo", o.obj.Name),
+				slog.Bool("fast_burn", v.FastBurn),
+				slog.Bool("slow_burn", v.SlowBurn),
+			)
+		}
+		s.lastHealthy[o.obj.Name] = v.Healthy
+		verdicts = append(verdicts, v)
+	}
+	return verdicts
+}
+
+// Handler serves the current verdicts as indented JSON — the /debug/slo
+// endpoint.
+func (s *SLOSet) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		verdicts := s.Evaluate()
+		if verdicts == nil {
+			verdicts = []Verdict{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(struct {
+			Objectives []Verdict `json:"objectives"`
+		}{verdicts}); err != nil {
+			// Status line already sent; nothing useful left to do.
+			_ = err
+		}
+	})
+}
+
+// Summary renders verdicts as the compact strings /healthz embeds, e.g.
+// "availability: healthy (target 99.9%)".
+func Summary(verdicts []Verdict) []string {
+	out := make([]string, 0, len(verdicts))
+	for _, v := range verdicts {
+		state := "healthy"
+		if !v.Healthy {
+			state = "burning"
+		}
+		out = append(out, fmt.Sprintf("%s: %s (target %g%%)", v.Name, state, v.Target*100))
+	}
+	return out
+}

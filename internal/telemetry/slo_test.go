@@ -1,0 +1,302 @@
+package telemetry
+
+import (
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sloClock is an injectable, manually-advanced clock.
+type sloClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newSLOClock() *sloClock {
+	return &sloClock{now: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *sloClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *sloClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// windowByName finds one window's burn in a verdict.
+func windowByName(t *testing.T, v Verdict, name string) WindowBurn {
+	t.Helper()
+	for _, w := range v.Windows {
+		if w.Window == name {
+			return w
+		}
+	}
+	t.Fatalf("verdict %s has no window %q (have %+v)", v.Name, name, v.Windows)
+	return WindowBurn{}
+}
+
+// TestSLOBurnRateTable drives one availability objective through the
+// canonical scenarios with a deterministic clock.
+func TestSLOBurnRateTable(t *testing.T) {
+	const target = 0.999 // error budget 0.001
+
+	cases := []struct {
+		name string
+		// drive records traffic against the set under the clock.
+		drive       func(s *SLOSet, c *sloClock)
+		wantHealthy bool
+		wantFast    bool
+		wantSlow    bool
+		// window -> want burn rate (checked approximately)
+		wantBurn map[string]float64
+	}{
+		{
+			name:        "zero traffic",
+			drive:       func(s *SLOSet, c *sloClock) {},
+			wantHealthy: true,
+			wantBurn:    map[string]float64{"5m0s": 0, "1h0m0s": 0, "30m0s": 0, "6h0m0s": 0},
+		},
+		{
+			name: "all good",
+			drive: func(s *SLOSet, c *sloClock) {
+				for range 1000 {
+					s.RecordRequest(http.StatusOK, time.Millisecond)
+				}
+			},
+			wantHealthy: true,
+			wantBurn:    map[string]float64{"5m0s": 0, "1h0m0s": 0},
+		},
+		{
+			name: "burst of errors fires fast and slow",
+			drive: func(s *SLOSet, c *sloClock) {
+				for i := range 1000 {
+					code := http.StatusOK
+					if i%20 == 0 { // 5% errors = 50x budget
+						code = http.StatusInternalServerError
+					}
+					s.RecordRequest(code, time.Millisecond)
+				}
+			},
+			wantHealthy: false,
+			wantFast:    true,
+			wantSlow:    true,
+			wantBurn:    map[string]float64{"5m0s": 50, "1h0m0s": 50},
+		},
+		{
+			name: "old errors age out of the short window",
+			drive: func(s *SLOSet, c *sloClock) {
+				// Errors burn hot, then six minutes of clean traffic: the 5m
+				// window no longer sees them, so the fast pair cannot fire —
+				// but the errors still sit inside 30m/1h/6h, so the slow
+				// pair (correctly) keeps the page up.
+				for range 100 {
+					s.RecordRequest(http.StatusInternalServerError, time.Millisecond)
+				}
+				c.Advance(6 * time.Minute)
+				for range 100 {
+					s.RecordRequest(http.StatusOK, time.Millisecond)
+				}
+			},
+			wantHealthy: false,
+			wantFast:    false,
+			wantSlow:    true,
+			wantBurn:    map[string]float64{"5m0s": 0, "1h0m0s": 500},
+		},
+		{
+			name: "errors at the exact window edge still count",
+			drive: func(s *SLOSet, c *sloClock) {
+				// 4m50s back is inside a 5m window that includes the current
+				// bucket; the fast pair sees the full error mass.
+				for range 100 {
+					s.RecordRequest(http.StatusInternalServerError, time.Millisecond)
+				}
+				c.Advance(4*time.Minute + 50*time.Second)
+				for range 100 {
+					s.RecordRequest(http.StatusOK, time.Millisecond)
+				}
+			},
+			wantHealthy: false,
+			wantFast:    true,
+			wantSlow:    true,
+			wantBurn:    map[string]float64{"5m0s": 500, "1h0m0s": 500},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := newSLOClock()
+			s := NewSLOSet(nil, nil, clock.Now, Objective{Name: "availability", Target: target})
+			tc.drive(s, clock)
+			vs := s.Evaluate()
+			if len(vs) != 1 {
+				t.Fatalf("got %d verdicts, want 1", len(vs))
+			}
+			v := vs[0]
+			if v.Healthy != tc.wantHealthy || v.FastBurn != tc.wantFast || v.SlowBurn != tc.wantSlow {
+				t.Errorf("verdict = healthy=%v fast=%v slow=%v, want healthy=%v fast=%v slow=%v",
+					v.Healthy, v.FastBurn, v.SlowBurn, tc.wantHealthy, tc.wantFast, tc.wantSlow)
+			}
+			for name, want := range tc.wantBurn {
+				got := windowByName(t, v, name).BurnRate
+				if math.IsNaN(got) || math.Abs(got-want) > 0.01 {
+					t.Errorf("window %s burn = %v, want %v", name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSLOLatencyObjective checks threshold goodness: a 2xx that overruns the
+// latency threshold still spends latency budget.
+func TestSLOLatencyObjective(t *testing.T) {
+	clock := newSLOClock()
+	s := NewSLOSet(nil, nil, clock.Now,
+		Objective{Name: "latency", Target: 0.9, Threshold: 100 * time.Millisecond})
+	for i := range 100 {
+		lat := time.Millisecond
+		if i%2 == 0 { // 50% slow = error rate 0.5, budget 0.1, burn 5
+			lat = time.Second
+		}
+		s.RecordRequest(http.StatusOK, lat)
+	}
+	v := s.Evaluate()[0]
+	if got := windowByName(t, v, "5m0s"); math.Abs(got.BurnRate-5) > 0.01 {
+		t.Errorf("latency burn = %v, want 5", got.BurnRate)
+	}
+	if v.Threshold != "100ms" {
+		t.Errorf("threshold = %q, want 100ms", v.Threshold)
+	}
+}
+
+// TestSLOWorkerInvariance feeds the identical request mix through 1, 2, and
+// 8 goroutines under the same frozen clock and demands byte-identical
+// verdicts: the ring keeps only sums, so scheduling cannot show through.
+func TestSLOWorkerInvariance(t *testing.T) {
+	run := func(workers int) []Verdict {
+		clock := newSLOClock()
+		s := NewSLOSet(nil, nil, clock.Now,
+			Objective{Name: "availability", Target: 0.999},
+			Objective{Name: "latency", Target: 0.99, Threshold: 250 * time.Millisecond})
+		const n = 960
+		var wg sync.WaitGroup
+		per := n / workers
+		for w := range workers {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range per {
+					idx := w*per + i
+					code := http.StatusOK
+					if idx%96 == 0 {
+						code = http.StatusBadGateway
+					}
+					lat := time.Millisecond
+					if idx%48 == 0 {
+						lat = time.Second
+					}
+					s.RecordRequest(code, lat)
+				}
+			}()
+		}
+		wg.Wait()
+		return s.Evaluate()
+	}
+
+	want := fmt.Sprintf("%+v", run(1))
+	for _, workers := range []int{2, 8} {
+		if got := fmt.Sprintf("%+v", run(workers)); got != want {
+			t.Errorf("workers=%d verdicts diverge:\ngot:  %s\nwant: %s", workers, got, want)
+		}
+	}
+}
+
+// TestSLOGaugesAndTransitions checks Evaluate publishes the verdict gauges
+// and logs exactly one record per healthy<->burning transition.
+func TestSLOGaugesAndTransitions(t *testing.T) {
+	clock := newSLOClock()
+	reg := NewRegistry()
+	buffer := NewLogBuffer(16)
+	logger := slog.New(NewLogHandler(LogHandlerOptions{Buffer: buffer}))
+	s := NewSLOSet(reg, logger, clock.Now, Objective{Name: "availability", Target: 0.999})
+
+	s.Evaluate() // healthy, no transition
+	for range 100 {
+		s.RecordRequest(http.StatusInternalServerError, time.Millisecond)
+	}
+	s.Evaluate() // -> burning
+	s.Evaluate() // still burning: no second record
+	clock.Advance(7 * time.Hour)
+	s.Evaluate() // errors aged out -> healthy again
+
+	var firing, recovered int
+	for _, r := range buffer.Records() {
+		switch r.Msg {
+		case "slo burn-rate alert firing":
+			firing++
+		case "slo recovered":
+			recovered++
+		}
+	}
+	if firing != 1 || recovered != 1 {
+		t.Errorf("transition records: firing=%d recovered=%d, want 1/1 (records %+v)",
+			firing, recovered, buffer.Records())
+	}
+
+	healthy := math.NaN()
+	burn5m := math.NaN()
+	for _, p := range reg.Snapshot() {
+		labels := map[string]string{}
+		for _, l := range p.Labels {
+			labels[l.Key] = l.Value
+		}
+		switch {
+		case p.Name == "patchdb_slo_healthy" && labels["slo"] == "availability":
+			healthy = p.Value
+		case p.Name == "patchdb_slo_burn_rate" && labels["slo"] == "availability" && labels["window"] == "5m0s":
+			burn5m = p.Value
+		}
+	}
+	if healthy != 1 {
+		t.Errorf("patchdb_slo_healthy = %v, want 1 after recovery", healthy)
+	}
+	if burn5m != 0 {
+		t.Errorf("patchdb_slo_burn_rate{window=5m0s} = %v, want 0 after recovery", burn5m)
+	}
+}
+
+// TestSLOHandler checks the /debug/slo JSON shape and nil-safety.
+func TestSLOHandler(t *testing.T) {
+	clock := newSLOClock()
+	s := NewSLOSet(nil, nil, clock.Now, Objective{Name: "availability", Target: 0.999})
+	s.RecordRequest(http.StatusOK, time.Millisecond)
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/slo", nil))
+	body := rr.Body.String()
+	for _, want := range []string{`"objectives"`, `"availability"`, `"burn_rate"`, `"5m0s"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/slo missing %s:\n%s", want, body)
+		}
+	}
+
+	var nilSet *SLOSet
+	nilSet.RecordRequest(http.StatusOK, time.Millisecond)
+	if v := nilSet.Evaluate(); v != nil {
+		t.Errorf("nil set evaluated to %+v", v)
+	}
+	rr = httptest.NewRecorder()
+	nilSet.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/slo", nil))
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "objectives") {
+		t.Errorf("nil set handler: code=%d body=%s", rr.Code, rr.Body.String())
+	}
+}

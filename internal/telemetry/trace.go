@@ -1,12 +1,16 @@
 package telemetry
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"sync"
 	"time"
+
+	"patchdb/internal/atomicio"
 )
 
 // DefaultTraceCapacity bounds the in-memory span buffer of a NewHub tracer.
@@ -16,10 +20,14 @@ const DefaultTraceCapacity = 4096
 // exported to JSONL. IDs are assigned at Start from a per-tracer monotonic
 // counter, so a parent's ID is always smaller than its children's.
 type SpanRecord struct {
-	ID     uint64    `json:"id"`
-	Parent uint64    `json:"parent,omitempty"`
-	Name   string    `json:"name"`
-	Start  time.Time `json:"start"`
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Trace is the correlation ID the span belongs to (a request's
+	// X-Request-ID in the serving layer), inherited from the parent span or
+	// from WithTraceID on the starting context; "" for uncorrelated spans.
+	Trace string    `json:"trace,omitempty"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
 	// DurationNS is the span's wall-clock duration in nanoseconds.
 	DurationNS int64          `json:"duration_ns"`
 	Attrs      map[string]any `json:"attrs,omitempty"`
@@ -51,6 +59,7 @@ type Span struct {
 	tracer *Tracer
 	id     uint64
 	parent uint64
+	trace  string
 	name   string
 	start  time.Time
 
@@ -60,22 +69,51 @@ type Span struct {
 }
 
 type spanKey struct{}
+type traceIDKey struct{}
+
+// WithTraceID returns a context carrying a correlation ID. Spans started
+// under the context (and their descendants) record it, and the hub logger
+// attaches it to every record, so one request's spans, logs, and histogram
+// exemplars all share the ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFromContext returns the correlation ID carried by ctx: the current
+// span's trace if one is in flight, else the value set by WithTraceID, else
+// "".
+func TraceIDFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	if s := SpanFromContext(ctx); s != nil && s.trace != "" {
+		return s.trace
+	}
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
 
 // Start begins a span under t, linking it to the span already in ctx (if
-// any) as its parent, and returns a context carrying the new span.
+// any) as its parent, and returns a context carrying the new span. The span
+// inherits its correlation ID from the parent span, or from WithTraceID.
 func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
 	}
 	var parent uint64
+	var trace string
 	if p := SpanFromContext(ctx); p != nil {
 		parent = p.id
+		trace = p.trace
+	}
+	if trace == "" {
+		trace = TraceIDFromContext(ctx)
 	}
 	t.mu.Lock()
 	t.nextID++
 	id := t.nextID
 	t.mu.Unlock()
-	s := &Span{tracer: t, id: id, parent: parent, name: name, start: time.Now()}
+	s := &Span{tracer: t, id: id, parent: parent, trace: trace, name: name, start: time.Now()}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 
@@ -86,6 +124,15 @@ func SpanFromContext(ctx context.Context) *Span {
 	}
 	s, _ := ctx.Value(spanKey{}).(*Span)
 	return s
+}
+
+// TraceID returns the span's correlation ID ("" for a nil or uncorrelated
+// span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
 }
 
 // SetAttr attaches one attribute to the span. Values should be
@@ -122,6 +169,7 @@ func (s *Span) End() {
 	s.tracer.record(SpanRecord{
 		ID:         s.id,
 		Parent:     s.parent,
+		Trace:      s.trace,
 		Name:       s.name,
 		Start:      s.start,
 		DurationNS: int64(time.Since(s.start)),
@@ -173,6 +221,20 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		if err := enc.Encode(rec); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// WriteJSONLFile exports the buffered spans as JSONL to path through the
+// shared temp+fsync+rename helper, so a concurrent reader never observes a
+// half-written trace artifact.
+func (t *Tracer) WriteJSONLFile(path string) error {
+	var buf bytes.Buffer
+	if err := t.WriteJSONL(&buf); err != nil {
+		return fmt.Errorf("telemetry: encode span JSONL: %w", err)
+	}
+	if err := atomicio.WriteFile(path, buf.Bytes()); err != nil {
+		return fmt.Errorf("telemetry: write span JSONL: %w", err)
 	}
 	return nil
 }

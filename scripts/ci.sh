@@ -16,11 +16,14 @@ echo "==> build"
 echo "==> vet"
 "$GO" vet ./...
 
-echo "==> lint (patchdb-lint: determinism ctxloop errcanon telemetrysafe atomicwrite)"
+echo "==> lint (patchdb-lint: determinism ctxloop errcanon telemetrysafe atomicwrite logcanon)"
 "$GO" run ./cmd/patchdb-lint ./...
 
 echo "==> test"
 "$GO" test ./...
+
+echo "==> verify-obs (logging determinism + SLO + exemplar + request-ID correlation, race-enabled)"
+"$GO" test -race -count=1 -run 'Log|SLO|Exemplar|Exposition|OpenMetrics|Prom|RequestID|Correlation|ChromeTrace|Debug|Healthz|Slow' ./internal/telemetry/ ./internal/store/
 
 echo "==> verify-resume (kill-and-resume crash safety, race-enabled)"
 "$GO" test -race -count=1 ./internal/atomicio/ ./internal/checkpoint/ ./internal/experiments/resumebench/
