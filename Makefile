@@ -14,12 +14,20 @@ vet:
 	$(GO) vet ./...
 
 # lint runs patchdb's custom analyzer suite (see internal/analysis and
-# cmd/patchdb-lint): determinism (no wall clocks / global rand / ordered map
-# iteration in the deterministic build packages), ctxloop (worker loops
-# honor ctx cancellation), errcanon (errors.Is + %w for canonical errors),
-# telemetrysafe (nil-guarded *telemetry.Hub field access), and atomicwrite
-# (artifact files written via internal/atomicio, never direct os writes).
-# Suppress an intentional finding with `//lint:ignore <check> <reason>`.
+# cmd/patchdb-lint): determinism (no wall clocks / global rand — direct or
+# transitive via call-graph facts — and no ordered map iteration in the
+# deterministic build packages), ctxloop (worker loops honor ctx
+# cancellation), errcanon (errors.Is + %w for canonical errors),
+# telemetrysafe (nil-guarded *telemetry.Hub field access), atomicwrite
+# (artifact files written via internal/atomicio, never direct os writes),
+# logcanon (structured logging in server/pipeline packages), lockdiscipline
+# (no mutex copies, Lock pairs with Unlock on all paths, no lock held across
+# a blocking channel op), goroleak (goroutines tie their exit to a
+# context/WaitGroup/channel), and closeleak (files, response bodies, and
+# snapshot handles closed on every path). Packages are analyzed concurrently
+# and results cached under .lintcache/ — a warm run re-checks nothing (use
+# -no-cache or `rm -rf .lintcache` to force). Suppress an intentional
+# finding with `//lint:ignore <check> <reason>`.
 lint:
 	$(GO) run ./cmd/patchdb-lint ./...
 

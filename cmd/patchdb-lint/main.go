@@ -1,19 +1,29 @@
-// Command patchdb-lint runs patchdb's custom static-analysis suite — the
-// determinism, ctxloop, errcanon, telemetrysafe, and atomicwrite analyzers
-// — over the
-// given packages and exits non-zero on findings. It is the machine check
-// behind `make lint` (and therefore `make verify`): the invariants PRs 1-4
-// established by convention fail the build the moment a change regresses
-// them.
+// Command patchdb-lint runs patchdb's custom static-analysis suite — nine
+// analyzers covering determinism, context discipline, error canon,
+// telemetry safety, atomic writes, structured logging, lock discipline,
+// goroutine leaks, and resource closing — over the given packages and exits
+// non-zero on findings. It is the machine check behind `make lint` (and
+// therefore `make verify`): the invariants earlier PRs established by
+// convention fail the build the moment a change regresses them.
 //
 // Usage:
 //
-//	patchdb-lint [-json] [-checks determinism,ctxloop,...] [patterns...]
+//	patchdb-lint [-json] [-sarif file] [-checks a,b] [-workers n]
+//	             [-cache-dir dir] [-no-cache] [-stats] [patterns...]
 //
 // Patterns default to ./... and follow go tool conventions (a directory, or
 // dir/... for a subtree). Findings print as path:line:col: check: message;
 // with -json each finding is one JSON object per line (path, line, col,
-// check, message), consumable the same way as the BENCH_*.json artifacts.
+// check, message). -sarif additionally writes a SARIF 2.1.0 log ("-" for
+// stdout) for CI code-scanning upload.
+//
+// Packages are analyzed concurrently in dependency order by the incremental
+// driver: results are cached per package under .lintcache/ (at the module
+// root; override with -cache-dir, disable with -no-cache), keyed by a
+// content hash of sources, enabled checks, analyzer versions, and the facts
+// imported from dependencies — a warm run over an unchanged tree re-checks
+// nothing. -stats prints the cache hit/miss summary to stderr. Results are
+// identical with and without the cache and at any -workers value.
 //
 // A finding is suppressed by an adjacent comment naming the check and a
 // reason:
@@ -30,9 +40,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 
 	"patchdb/internal/analysis"
+	"patchdb/internal/atomicio"
 )
 
 func main() {
@@ -43,8 +56,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("patchdb-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line instead of text")
+	sarifPath := fs.String("sarif", "", "also write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := fs.Bool("list", false, "list the available checks and exit")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "max packages analyzed concurrently")
+	cacheDir := fs.String("cache-dir", "", "result cache directory (default: .lintcache under the module root)")
+	noCache := fs.Bool("no-cache", false, "disable the result cache")
+	stats := fs.Bool("stats", false, "print cache and timing statistics to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -61,15 +79,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, a := range analyzers {
 			byName[a.Name] = a
 		}
-		analyzers = nil
+		selected := analyzers[:0:0]
 		for _, name := range strings.Split(*checks, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fmt.Fprintf(stderr, "patchdb-lint: unknown check %q\n", name)
+				available := make([]string, 0, len(byName))
+				for n := range byName {
+					available = append(available, n)
+				}
+				sort.Strings(available)
+				fmt.Fprintf(stderr, "patchdb-lint: unknown check %q (available: %s)\n",
+					name, strings.Join(available, ", "))
 				return 2
 			}
-			analyzers = append(analyzers, a)
+			selected = append(selected, a)
 		}
+		analyzers = selected
 	}
 
 	patterns := fs.Args()
@@ -92,13 +117,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "patchdb-lint: %v\n", err)
 		return 2
 	}
-	pkgs, err := loader.Load(cwd, patterns...)
+
+	driver := &analysis.Driver{
+		Loader:    loader,
+		Analyzers: analyzers,
+		Workers:   *workers,
+	}
+	if !*noCache {
+		driver.CacheDir = *cacheDir
+		if driver.CacheDir == "" {
+			driver.CacheDir = filepath.Join(root, ".lintcache")
+		}
+	}
+
+	diags, runStats, err := driver.Run(cwd, patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "patchdb-lint: %v\n", err)
 		return 2
 	}
+	if *stats {
+		fmt.Fprintf(stderr, "patchdb-lint: %s\n", runStats)
+	}
 
-	diags := analysis.Run(pkgs, analyzers)
+	if *sarifPath != "" {
+		var sarifErr error
+		if *sarifPath == "-" {
+			sarifErr = analysis.WriteSARIF(stdout, diags, analyzers, root)
+		} else {
+			sarifErr = atomicio.WriteTo(*sarifPath, func(w io.Writer) error {
+				return analysis.WriteSARIF(w, diags, analyzers, root)
+			})
+		}
+		if sarifErr != nil {
+			fmt.Fprintf(stderr, "patchdb-lint: write sarif: %v\n", sarifErr)
+			return 2
+		}
+	}
+
 	for _, d := range diags {
 		path := d.Pos.Filename
 		if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
@@ -119,7 +174,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(diags) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(stderr, "patchdb-lint: %d finding(s) across %d package unit(s)\n", len(diags), len(pkgs))
+			fmt.Fprintf(stderr, "patchdb-lint: %d finding(s) across %d package unit(s)\n", len(diags), runStats.Units)
 		}
 		return 1
 	}

@@ -4,31 +4,50 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 const goldenErrcanon = "../../internal/analysis/testdata/src/errcanon/a"
 
+// lintArgs prefixes every invocation with a per-test cache directory so
+// tests never write into the repo's .lintcache.
+func lintArgs(t *testing.T, args ...string) []string {
+	t.Helper()
+	return append([]string{"-cache-dir", t.TempDir()}, args...)
+}
+
 func TestListChecks(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d, stderr = %s", code, errOut.String())
 	}
-	for _, name := range []string{"determinism", "ctxloop", "errcanon", "telemetrysafe"} {
+	for _, name := range []string{
+		"determinism", "ctxloop", "errcanon", "telemetrysafe",
+		"atomicwrite", "logcanon", "lockdiscipline", "goroleak", "closeleak",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
 	}
 }
 
-func TestUnknownCheck(t *testing.T) {
+func TestUnknownCheckListsAvailable(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-checks", "nosuch"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
 	}
-	if !strings.Contains(errOut.String(), "unknown check") {
-		t.Errorf("stderr = %q", errOut.String())
+	msg := errOut.String()
+	if !strings.Contains(msg, `unknown check "nosuch"`) {
+		t.Errorf("stderr = %q", msg)
+	}
+	// The error must name the available checks so the fix is self-evident.
+	for _, name := range []string{"available:", "determinism", "lockdiscipline", "goroleak", "closeleak"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("unknown-check error missing %q: %q", name, msg)
+		}
 	}
 }
 
@@ -36,7 +55,7 @@ func TestUnknownCheck(t *testing.T) {
 // path:line:col form and a non-zero exit.
 func TestTextFindings(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code := run([]string{"-checks", "errcanon", goldenErrcanon}, &out, &errOut)
+	code := run(lintArgs(t, "-checks", "errcanon", goldenErrcanon), &out, &errOut)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr = %s", code, errOut.String())
 	}
@@ -55,7 +74,7 @@ func TestTextFindings(t *testing.T) {
 // path, line, col, check, and message.
 func TestJSONFindings(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code := run([]string{"-json", "-checks", "errcanon", goldenErrcanon}, &out, &errOut)
+	code := run(lintArgs(t, "-json", "-checks", "errcanon", goldenErrcanon), &out, &errOut)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr = %s", code, errOut.String())
 	}
@@ -82,11 +101,113 @@ func TestJSONFindings(t *testing.T) {
 	}
 }
 
+// TestSARIFOutput writes a SARIF log for the errcanon golden and checks the
+// shape CI consumes: version, tool name, rule IDs, and result locations with
+// repo-relative URIs.
+func TestSARIFOutput(t *testing.T) {
+	sarifPath := filepath.Join(t.TempDir(), "lint.sarif")
+	var out, errOut bytes.Buffer
+	code := run(lintArgs(t, "-sarif", sarifPath, "-checks", "errcanon", goldenErrcanon), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr = %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatalf("sarif file: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("parse sarif: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version = %q, runs = %d", log.Version, len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "patchdb-lint" {
+		t.Errorf("tool name = %q", r.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, rule := range r.Tool.Driver.Rules {
+		ruleIDs[rule.ID] = true
+	}
+	if !ruleIDs["errcanon"] {
+		t.Errorf("rules missing errcanon: %v", ruleIDs)
+	}
+	if len(r.Results) < 3 {
+		t.Fatalf("expected several results, got %d", len(r.Results))
+	}
+	for _, res := range r.Results {
+		if res.RuleID != "errcanon" || res.Level != "error" {
+			t.Errorf("result rule/level = %s/%s", res.RuleID, res.Level)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result has %d locations", len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if !strings.HasSuffix(loc.ArtifactLocation.URI, ".go") || strings.Contains(loc.ArtifactLocation.URI, "\\") ||
+			filepath.IsAbs(loc.ArtifactLocation.URI) {
+			t.Errorf("URI not repo-relative forward-slash: %q", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine <= 0 {
+			t.Errorf("missing startLine in %+v", loc)
+		}
+	}
+}
+
+// TestStatsWarmRun runs the same lint twice against one cache directory and
+// asserts the second run is all hits with zero source loads.
+func TestStatsWarmRun(t *testing.T) {
+	cacheDir := t.TempDir()
+	args := []string{"-cache-dir", cacheDir, "-stats", "-checks", "errcanon", goldenErrcanon}
+
+	var out1, err1 bytes.Buffer
+	if code := run(args, &out1, &err1); code != 1 {
+		t.Fatalf("cold exit = %d; stderr = %s", code, err1.String())
+	}
+	var out2, err2 bytes.Buffer
+	if code := run(args, &out2, &err2); code != 1 {
+		t.Fatalf("warm exit = %d; stderr = %s", code, err2.String())
+	}
+	stats := err2.String()
+	if !strings.Contains(stats, "cache_misses=0") || !strings.Contains(stats, "source_loads=0") {
+		t.Errorf("warm stats not fully cached: %q", stats)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("warm findings differ from cold:\ncold: %s\nwarm: %s", out1.String(), out2.String())
+	}
+}
+
 // TestCleanPackageExitsZero lints a package that must be clean (the CLI's
 // own source) and expects exit 0 with no output.
 func TestCleanPackageExitsZero(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"."}, &out, &errOut); code != 0 {
+	if code := run(lintArgs(t, "."), &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d; out = %s; stderr = %s", code, out.String(), errOut.String())
 	}
 	if out.Len() != 0 {

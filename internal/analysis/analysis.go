@@ -16,6 +16,24 @@
 //     internal/atomicio's temp+fsync+rename, never direct os writes
 //   - logcanon: server/pipeline packages log through the telemetry hub's
 //     structured slog logger, never fmt.Print* or log.Print*
+//   - lockdiscipline: mutexes are never copied by value, every Lock is
+//     paired with an Unlock on every path, and no lock is held across a
+//     blocking channel operation (flow-sensitive, via internal/analysis/cfg)
+//   - goroleak: goroutines in the server/pipeline packages exit via ctx,
+//     a WaitGroup, or a closable channel — never leak past shutdown
+//   - closeleak: os.File handles and http.Response bodies are closed on
+//     every path, with closes-argument facts so helpers that close for
+//     their caller don't trip false positives
+//
+// Beyond the per-package syntactic checks, the framework has a small
+// control-flow-graph package (internal/analysis/cfg) for path-sensitive
+// analyzers and a cross-package fact layer (facts.go): analyzers export
+// per-object facts that the incremental driver (driver.go) propagates in
+// dependency order, so "transitively calls time.Now" and "closes its
+// argument" resolve across package boundaries. The driver caches per-unit
+// results under .lintcache/ keyed by a content hash of (sources, config,
+// analyzer versions, imported facts) and analyzes packages concurrently in
+// topological waves — a warm run re-checks only what changed.
 //
 // The cmd/patchdb-lint CLI runs the suite over ./... and exits non-zero on
 // findings, making the invariants part of `make verify`.
@@ -37,21 +55,33 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the enforced invariant.
 	Doc string
+	// Version enters the incremental driver's cache key: bump it whenever
+	// the analyzer's logic (diagnostics or exported facts) changes, so
+	// stale cache entries invalidate.
+	Version int
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, CtxLoop, ErrCanon, TelemetrySafe, AtomicWrite, LogCanon}
+	return []*Analyzer{
+		Determinism, CtxLoop, ErrCanon, TelemetrySafe, AtomicWrite, LogCanon,
+		LockDiscipline, GoroLeak, CloseLeak,
+	}
 }
 
 // Pass carries one analyzer's view of one package.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Facts resolves object facts: this unit's own exports layered over the
+	// facts imported from already-analyzed dependency packages.
+	Facts FactView
 
-	diags *[]Diagnostic
+	diags      *[]Diagnostic
+	exports    *FactSet
+	directives map[string][]*ignoreDirective // filename -> directives of this unit
 }
 
 // Reportf records a diagnostic at pos.
@@ -61,6 +91,39 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Check:   p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// ExportObjectFact records a fact on obj under this analyzer's namespace
+// ("analyzer/name"). Facts on objects without a stable cross-load key
+// (locals, builtins) are silently dropped.
+func (p *Pass) ExportObjectFact(obj types.Object, name, payload string) {
+	if p.exports != nil {
+		p.exports.add(ObjKey(obj), p.Analyzer.Name+"/"+name, payload)
+	}
+}
+
+// ObjectFact resolves a fact of this analyzer on obj: first this unit's own
+// exports, then the imported facts of dependency packages.
+func (p *Pass) ObjectFact(obj types.Object, name string) (string, bool) {
+	if p.Facts == nil {
+		return "", false
+	}
+	return p.Facts.Fact(ObjKey(obj), p.Analyzer.Name+"/"+name)
+}
+
+// Suppressed reports whether a diagnostic of this analyzer's check at pos
+// would be suppressed by a lint:ignore directive. Analyzers that derive
+// facts from would-be findings (determinism's clock-reachability seeds)
+// use this so a reasoned ignore also stops the taint from propagating to
+// callers.
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	position := p.Pkg.Fset.Position(pos)
+	for _, dir := range p.directives[position.Filename] {
+		if dir.matches(p.Analyzer.Name, position.Line) {
+			return true
+		}
+	}
+	return false
 }
 
 // TypeOf returns the type of e, or nil when unknown.
@@ -173,30 +236,52 @@ func parseDirectives(fset *token.FileSet, f *ast.File) (dirs []*ignoreDirective,
 	return dirs, malformed
 }
 
-// Run executes the analyzers over the packages, applies lint:ignore
-// suppression, and returns the surviving diagnostics sorted by position.
-// Malformed directives are themselves reported under the "lintdirective"
-// check (and cannot be suppressed).
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// UnitResult is the outcome of analyzing one package unit: the surviving
+// (post-suppression) diagnostics, the facts the unit exports for dependent
+// packages, and per-analyzer wall-clock spent — everything the incremental
+// driver caches.
+type UnitResult struct {
+	Diagnostics []Diagnostic
+	Facts       *FactSet
+	// AnalyzerNanos records wall-clock nanoseconds per analyzer (timing is
+	// telemetry-only; it never affects diagnostics or facts).
+	AnalyzerNanos map[string]int64
+}
+
+// RunUnit executes the analyzers over one package unit with the given
+// imported facts, applies lint:ignore suppression, and returns the
+// surviving diagnostics (sorted), exported facts, and per-analyzer timing.
+// Malformed directives are reported under the "lintdirective" check and
+// cannot be suppressed.
+func RunUnit(pkg *Package, analyzers []*Analyzer, imported FactView, clock func() int64) UnitResult {
 	var raw []Diagnostic
 	var malformed []Diagnostic
 	directives := make(map[string][]*ignoreDirective) // filename -> directives
-	seenFile := make(map[string]bool)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		dirs, bad := parseDirectives(pkg.Fset, f)
+		directives[name] = append(directives[name], dirs...)
+		malformed = append(malformed, bad...)
+	}
 
-	for _, pkg := range pkgs {
-		for _, f := range pkg.Files {
-			name := pkg.Fset.Position(f.Pos()).Filename
-			if seenFile[name] {
-				continue
-			}
-			seenFile[name] = true
-			dirs, bad := parseDirectives(pkg.Fset, f)
-			directives[name] = append(directives[name], dirs...)
-			malformed = append(malformed, bad...)
+	exports := NewFactSet()
+	nanos := make(map[string]int64, len(analyzers))
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Pkg:        pkg,
+			Facts:      factUnion{own: exports, imported: imported},
+			diags:      &raw,
+			exports:    exports,
+			directives: directives,
 		}
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
-			a.Run(pass)
+		var start int64
+		if clock != nil {
+			start = clock()
+		}
+		a.Run(pass)
+		if clock != nil {
+			nanos[a.Name] += clock() - start
 		}
 	}
 
@@ -227,8 +312,32 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			out = append(out, d)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortDiagnostics(out)
+	return UnitResult{Diagnostics: out, Facts: exports, AnalyzerNanos: nanos}
+}
+
+// Run executes the analyzers over the packages in order, threading each
+// unit's exported facts into the later ones — list dependency packages
+// before their dependents to exercise cross-package facts. Diagnostics are
+// suppressed per lint:ignore directives and returned globally sorted.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := NewFactSet()
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		res := RunUnit(pkg, analyzers, facts, nil)
+		facts.Merge(res.Facts)
+		out = append(out, res.Diagnostics...)
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders diagnostics by (file, line, column, check,
+// message) — the stable order both output modes and the cache emit, so CI
+// diffs are deterministic at any worker count.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -238,7 +347,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return out
 }

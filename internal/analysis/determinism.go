@@ -27,6 +27,25 @@ func deterministicPath(path string) bool {
 	return strings.HasPrefix(path, "patchdb/internal/core/")
 }
 
+// clockExemptPath reports whether a package is sanctioned to read clocks
+// and process-global randomness by design, so calls into it never taint
+// callers with clock-reachability facts: the telemetry layer (timing IS its
+// job and none of it feeds build output), the retry layer (backoff and
+// jitter are real-time behavior; crawl determinism is about output order,
+// not timing), and the fault injector.
+func clockExemptPath(path string) bool {
+	for _, prefix := range []string{
+		"patchdb/internal/telemetry",
+		"patchdb/internal/retry",
+		"patchdb/internal/faults",
+	} {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
 // globalRandConstructors are the math/rand package functions that build
 // explicitly seeded generators — the sanctioned way to get randomness.
 var globalRandConstructors = map[string]bool{
@@ -37,17 +56,28 @@ var globalRandConstructors = map[string]bool{
 
 // Determinism enforces the seed-purity contract of the build packages: no
 // wall-clock reads (time.Now / time.Since), no process-global math/rand
-// calls (their shared source is seeded from the clock), and no map-range
-// loops that feed ordered output without a sort. Test files are exempt —
-// the contract covers what ships in a build, and benchmarks time themselves
-// by design.
+// calls (their shared source is seeded from the clock), no map-range loops
+// that feed ordered output without a sort — and, via call-graph facts, no
+// calls to module functions that *transitively* reach a clock or the global
+// rand source, across package boundaries. A reasoned lint:ignore on the
+// direct clock read stops the taint: the ignore asserts the timing never
+// feeds build output, so callers stay clean. Test files are exempt — the
+// contract covers what ships in a build, and benchmarks time themselves by
+// design.
 var Determinism = &Analyzer{
-	Name: "determinism",
-	Doc:  "wall clocks, global randomness, and ordered map iteration are banned in deterministic build packages",
-	Run:  runDeterminism,
+	Name:    "determinism",
+	Doc:     "wall clocks, global randomness (direct or transitive), and ordered map iteration are banned in deterministic build packages",
+	Version: 2,
+	Run:     runDeterminism,
 }
 
+// clockReachFact is the fact name recording that a function transitively
+// reaches a wall clock or the process-global rand source; the payload is a
+// short witness chain ("nearestlink.Search -> time.Now").
+const clockReachFact = "clockreach"
+
 func runDeterminism(pass *Pass) {
+	tainted := computeClockReach(pass)
 	if !deterministicPath(pass.Pkg.ImportPath) {
 		return
 	}
@@ -65,12 +95,179 @@ func runDeterminism(pass *Pass) {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				checkDeterministicCall(pass, n)
+				checkTransitiveClock(pass, n, tainted)
 			case *ast.RangeStmt:
 				checkMapRange(pass, n, stack)
 			}
 			return true
 		})
 	}
+}
+
+// computeClockReach builds the package-local clock-reachability closure and
+// exports a clockreach fact per tainted package-level function. Seeds are
+// unsuppressed direct clock/global-rand calls plus calls to imported module
+// functions already carrying the fact; taint then propagates over the local
+// call graph to a fixed point. Clock-exempt packages and external test
+// units export nothing — nothing imports them, and their clocks are
+// sanctioned by design.
+func computeClockReach(pass *Pass) map[types.Object]string {
+	if clockExemptPath(pass.Pkg.ImportPath) || strings.HasSuffix(pass.Pkg.ImportPath, ".test") {
+		return nil
+	}
+	type funcInfo struct {
+		obj     types.Object
+		witness string             // "" until tainted
+		callees []*types.Func      // local call edges
+	}
+	infos := make(map[types.Object]*funcInfo)
+	var order []types.Object // declaration order, for deterministic fixed-point witnesses
+
+	for _, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Pkg.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			info := &funcInfo{obj: obj}
+			infos[obj] = info
+			order = append(order, obj)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if desc, bad := directClockCall(pass, call); bad {
+					if info.witness == "" && !pass.Suppressed(call.Pos()) {
+						info.witness = desc
+					}
+					return true
+				}
+				fn := pass.CalleeFunc(call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if fn.Pkg() == pass.Pkg.Types {
+					info.callees = append(info.callees, fn)
+				} else if info.witness == "" {
+					if w, ok := pass.ObjectFact(fn, clockReachFact); ok {
+						info.witness = chainWitness(funcDisplayName(fn), w)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Propagate taint over local call edges to a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range order {
+			info := infos[obj]
+			if info.witness != "" {
+				continue
+			}
+			for _, callee := range info.callees {
+				if ci, ok := infos[callee]; ok && ci.witness != "" {
+					info.witness = chainWitness(funcDisplayName(callee), ci.witness)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	tainted := make(map[types.Object]string)
+	for _, obj := range order {
+		if info := infos[obj]; info.witness != "" {
+			tainted[obj] = info.witness
+			pass.ExportObjectFact(obj, clockReachFact, info.witness)
+		}
+	}
+	return tainted
+}
+
+// checkTransitiveClock flags calls (in deterministic packages) to module
+// functions that transitively reach a clock, resolved through local taint
+// or imported clockreach facts.
+func checkTransitiveClock(pass *Pass, call *ast.CallExpr, tainted map[types.Object]string) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	var witness string
+	if fn.Pkg() == pass.Pkg.Types {
+		witness = tainted[fn]
+	} else if w, ok := pass.ObjectFact(fn, clockReachFact); ok {
+		witness = w
+	}
+	if witness == "" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call to %s transitively reaches a wall clock or global rand (%s) in deterministic build path; inject a clock/seed, or lint:ignore the root read if it is telemetry-only",
+		funcDisplayName(fn), witness)
+}
+
+// chainWitness prepends a hop to a witness chain, keeping chains readable
+// by eliding middles past three hops.
+func chainWitness(hop, rest string) string {
+	if strings.Count(rest, " -> ") >= 2 {
+		if i := strings.LastIndex(rest, " -> "); i >= 0 {
+			return hop + " -> ... ->" + rest[i+3:]
+		}
+	}
+	return hop + " -> " + rest
+}
+
+// funcDisplayName renders a function for diagnostics: pkg.Name or
+// pkg.(Recv).Name.
+func funcDisplayName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			name = "(" + named.Obj().Name() + ")." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// directClockCall reports whether call is a direct banned clock or
+// global-rand read, with a short description for witness chains.
+func directClockCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return "", false // methods (e.g. on an explicitly seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			return "time." + fn.Name(), true
+		}
+	case "math/rand", "math/rand/v2":
+		if !globalRandConstructors[fn.Name()] {
+			return "rand." + fn.Name(), true
+		}
+	}
+	return "", false
 }
 
 func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"go/types"
+	"sort"
+)
+
+// The fact layer lets analyzers export per-object knowledge ("this function
+// transitively reads the wall clock", "this helper closes its io.Closer
+// argument") that the driver propagates across packages in dependency
+// order, go/analysis-style. Facts are keyed by a canonical object key that
+// is stable across loads — and therefore serializable into the lint cache:
+// a cached package contributes exactly the facts it would have exported if
+// re-analyzed, and a dependent package's cache entry is invalidated when
+// (and only when) the facts it imported change.
+//
+// A fact is a (analyzer, name, payload) triple on one object. Payloads are
+// short strings (a witness chain, a parameter-index list); analyzers parse
+// their own payloads.
+
+// ObjKey returns the canonical cross-load key of a package-level object or
+// method: "pkgpath.Name" for package-level functions and variables,
+// "pkgpath.(RecvType).Name" for methods. Objects without a package (locals,
+// builtins) have no stable key and yield "".
+func ObjKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	key := obj.Pkg().Path() + "."
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := types.Unalias(t).(*types.Named); ok {
+				return key + "(" + named.Obj().Name() + ")." + obj.Name()
+			}
+			return "" // receiver on an unnamed type; no stable key
+		}
+	}
+	if obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() != obj.Pkg().Scope() {
+		return "" // not package-level
+	}
+	return key + obj.Name()
+}
+
+// FactView is read-only access to facts imported from already-analyzed
+// packages.
+type FactView interface {
+	// Fact returns the payload of the named fact (namespaced as
+	// "analyzer/name") on the object with the given key.
+	Fact(objKey, fact string) (string, bool)
+}
+
+// FactSet is a concrete fact store: objKey -> "analyzer/name" -> payload.
+// The zero value is not usable; call NewFactSet.
+type FactSet struct {
+	m map[string]map[string]string
+}
+
+// NewFactSet returns an empty fact store.
+func NewFactSet() *FactSet {
+	return &FactSet{m: make(map[string]map[string]string)}
+}
+
+// Fact implements FactView. A nil *FactSet is a valid empty view.
+func (s *FactSet) Fact(objKey, fact string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	payload, ok := s.m[objKey][fact]
+	return payload, ok
+}
+
+// add records a fact; empty keys are dropped (unkeyable objects).
+func (s *FactSet) add(objKey, fact, payload string) {
+	if objKey == "" {
+		return
+	}
+	inner, ok := s.m[objKey]
+	if !ok {
+		inner = make(map[string]string)
+		s.m[objKey] = inner
+	}
+	inner[fact] = payload
+}
+
+// Merge copies every fact of other into s.
+func (s *FactSet) Merge(other *FactSet) {
+	if other == nil {
+		return
+	}
+	for objKey, inner := range other.m {
+		for fact, payload := range inner {
+			s.add(objKey, fact, payload)
+		}
+	}
+}
+
+// Len returns the number of (object, fact) pairs in the set.
+func (s *FactSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, inner := range s.m {
+		n += len(inner)
+	}
+	return n
+}
+
+// Encode serializes the set canonically: json.Marshal sorts map keys, so
+// equal fact sets encode to equal bytes regardless of insertion order.
+func (s *FactSet) Encode() []byte {
+	if s == nil || len(s.m) == 0 {
+		return []byte("{}")
+	}
+	data, err := json.Marshal(s.m)
+	if err != nil {
+		// map[string]map[string]string cannot fail to marshal.
+		panic("analysis: encode facts: " + err.Error())
+	}
+	return data
+}
+
+// DecodeFactSet parses bytes produced by Encode.
+func DecodeFactSet(data []byte) (*FactSet, error) {
+	s := NewFactSet()
+	if len(data) == 0 {
+		return s, nil
+	}
+	if err := json.Unmarshal(data, &s.m); err != nil {
+		return nil, err
+	}
+	if s.m == nil {
+		s.m = make(map[string]map[string]string)
+	}
+	return s, nil
+}
+
+// Hash returns a hex digest of the canonical encoding — the value that
+// enters dependent packages' cache keys.
+func (s *FactSet) Hash() string {
+	sum := sha256.Sum256(s.Encode())
+	return hex.EncodeToString(sum[:])
+}
+
+// factUnion is the FactView an analyzer pass sees: its own unit's exports
+// layered over the imported facts, so intra-package helpers resolve the
+// same way as cross-package ones.
+type factUnion struct {
+	own      *FactSet
+	imported FactView
+}
+
+func (u factUnion) Fact(objKey, fact string) (string, bool) {
+	if payload, ok := u.own.Fact(objKey, fact); ok {
+		return payload, ok
+	}
+	if u.imported == nil {
+		return "", false
+	}
+	return u.imported.Fact(objKey, fact)
+}
+
+// sortedObjKeys returns the set's object keys in sorted order (for
+// deterministic iteration in tests and debug output).
+func (s *FactSet) sortedObjKeys() []string {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

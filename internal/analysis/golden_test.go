@@ -77,14 +77,41 @@ func parseWants(t *testing.T, dir string) map[string][]*expectation {
 	return wants
 }
 
+// goldenPkg names one testdata package of a golden scenario: its directory
+// relative to the module root and the import path to load it under.
+type goldenPkg struct {
+	rel        string
+	importPath string
+}
+
 // runGolden checks an analyzer against a testdata package: every `want`
 // annotation must be matched by a diagnostic on its line, and every
 // diagnostic must be claimed by a `want`.
 func runGolden(t *testing.T, rel, importPath string, analyzers []*Analyzer) {
 	t.Helper()
-	pkg := loadTestPkg(t, rel, importPath)
-	diags := Run([]*Package{pkg}, analyzers)
-	wants := parseWants(t, pkg.Dir)
+	runGoldenPkgs(t, []goldenPkg{{rel, importPath}}, analyzers)
+}
+
+// runGoldenPkgs is runGolden over a dependency-ordered package list: earlier
+// packages are analyzed first so their exported facts are visible to later
+// ones, exercising the cross-package fact layer. Wants are parsed from every
+// listed directory (file basenames must be unique across them).
+func runGoldenPkgs(t *testing.T, specs []goldenPkg, analyzers []*Analyzer) {
+	t.Helper()
+	pkgs := make([]*Package, len(specs))
+	for i, s := range specs {
+		pkgs[i] = loadTestPkg(t, s.rel, s.importPath)
+	}
+	diags := Run(pkgs, analyzers)
+	wants := make(map[string][]*expectation)
+	for _, pkg := range pkgs {
+		for file, ws := range parseWants(t, pkg.Dir) {
+			if _, dup := wants[file]; dup {
+				t.Fatalf("duplicate golden basename %s across packages", file)
+			}
+			wants[file] = ws
+		}
+	}
 
 	for _, d := range diags {
 		base := filepath.Base(d.Pos.Filename)
@@ -180,6 +207,75 @@ func TestLogCanonAllowlistedPackage(t *testing.T) {
 	}
 }
 
+func TestLockDisciplineGolden(t *testing.T) {
+	runGolden(t, "internal/analysis/testdata/src/lockdiscipline/a",
+		"patchdb/internal/lintgolden/lockdiscipline", []*Analyzer{LockDiscipline})
+}
+
+// TestGoroLeakGolden analyzes the helper package first (under its real
+// import path, so the golden's import of it resolves to the same fact keys)
+// and the golden under a synthetic pipeline-side path where reporting is
+// active. The helper.Spin/WatchCtx cases only work if tied-function facts
+// cross the package boundary.
+func TestGoroLeakGolden(t *testing.T) {
+	runGoldenPkgs(t, []goldenPkg{
+		{"internal/analysis/testdata/src/goroleak/helper",
+			"patchdb/internal/analysis/testdata/src/goroleak/helper"},
+		{"internal/analysis/testdata/src/goroleak/a",
+			"patchdb/internal/pipeline/lintgolden"},
+	}, []*Analyzer{GoroLeak})
+}
+
+// TestGoroLeakAllowlistedPackage loads the same violating source under a
+// package path outside the server/pipeline set and expects silence: a
+// short-lived CLI-less library package owns its own goroutine hygiene.
+func TestGoroLeakAllowlistedPackage(t *testing.T) {
+	helper := loadTestPkg(t, "internal/analysis/testdata/src/goroleak/helper",
+		"patchdb/internal/analysis/testdata/src/goroleak/helper")
+	pkg := loadTestPkg(t, "internal/analysis/testdata/src/goroleak/a",
+		"patchdb/internal/lintgolden/goroleak")
+	if diags := Run([]*Package{helper, pkg}, []*Analyzer{GoroLeak}); len(diags) != 0 {
+		t.Errorf("allowlisted package reported %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestCloseLeakGolden exercises the closes-argument facts across the package
+// boundary: helper.CloseIt/Forward close for the caller, helper.Leave does
+// not.
+func TestCloseLeakGolden(t *testing.T) {
+	runGoldenPkgs(t, []goldenPkg{
+		{"internal/analysis/testdata/src/closeleak/helper",
+			"patchdb/internal/analysis/testdata/src/closeleak/helper"},
+		{"internal/analysis/testdata/src/closeleak/a",
+			"patchdb/internal/lintgolden/closeleak"},
+	}, []*Analyzer{CloseLeak})
+}
+
+// TestDeterminismTransitiveGolden: every clock in the golden is at least one
+// call away, reachable only through the clockhelper package's clockreach
+// facts — including the negative case where a reasoned ignore on the root
+// read stops the taint.
+func TestDeterminismTransitiveGolden(t *testing.T) {
+	runGoldenPkgs(t, []goldenPkg{
+		{"internal/analysis/testdata/src/determinism/clockhelper",
+			"patchdb/internal/analysis/testdata/src/determinism/clockhelper"},
+		{"internal/analysis/testdata/src/determinism/clockdep",
+			"patchdb/internal/core/clockdep"},
+	}, []*Analyzer{Determinism})
+}
+
+// TestDeterminismTransitiveFactOrder guards the harness: analyzed without
+// the helper's facts (helper not in the run), the clockdep golden must
+// report nothing — proving the golden above passes only because facts
+// crossed the package boundary.
+func TestDeterminismTransitiveFactOrder(t *testing.T) {
+	pkg := loadTestPkg(t, "internal/analysis/testdata/src/determinism/clockdep",
+		"patchdb/internal/core/clockdep2")
+	if diags := Run([]*Package{pkg}, []*Analyzer{Determinism}); len(diags) != 0 {
+		t.Errorf("clockdep without helper facts reported %d diagnostics: %v", len(diags), diags)
+	}
+}
+
 // TestSuiteSelfCheck runs the full suite over the analyzer framework and the
 // patchdb-lint CLI: the linter must hold itself to the invariants it
 // enforces.
@@ -188,7 +284,7 @@ func TestSuiteSelfCheck(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
-	pkgs, err := l.Load(l.Root, "./internal/analysis", "./cmd/patchdb-lint")
+	pkgs, err := l.Load(l.Root, "./internal/analysis", "./internal/analysis/cfg", "./cmd/patchdb-lint")
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}

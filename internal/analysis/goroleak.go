@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak guards the long-running server and pipeline packages against
+// leaked goroutines: every `go` statement there must have its exit tied to
+// something the shutdown path controls — a context (ctx.Done/ctx.Err), a
+// WaitGroup (wg.Done signals a waiter), or a channel (a receive or range
+// ends when the channel is closed or served). The tie may be indirect:
+// "this function's body observes ctx" is exported as a fact, so
+// `go s.serve(ctx)` resolves across packages. Goroutines whose only exit
+// signal is a `defer close(done)` are still flagged — closing a channel
+// tells others the goroutine finished, it does not bound when that happens.
+var GoroLeak = &Analyzer{
+	Name:    "goroleak",
+	Doc:     "goroutines in server/pipeline packages must tie their exit to a context, WaitGroup, or channel",
+	Version: 1,
+	Run:     runGoroLeak,
+}
+
+// tiedFact marks a function whose body ties its own exit to a shutdown
+// signal; calling it as (or from) a goroutine body makes the goroutine
+// shutdown-bounded.
+const tiedFact = "tied"
+
+// goroLeakPath gates reporting to the packages that host long-running
+// goroutines: the pipeline, the snapshot store, the telemetry hub, and the
+// binaries. Facts are computed module-wide so ties resolve through helper
+// packages.
+func goroLeakPath(path string) bool {
+	for _, p := range []string{
+		"patchdb/internal/pipeline",
+		"patchdb/internal/store",
+		"patchdb/internal/telemetry",
+	} {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return strings.HasPrefix(path, "patchdb/cmd/")
+}
+
+func runGoroLeak(pass *Pass) {
+	tied := computeTied(pass)
+	if !goroLeakPath(pass.Pkg.ImportPath) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineTied(pass, gs, tied) {
+				pass.Reportf(gs.Pos(),
+					"goroutine's exit is not tied to a context, WaitGroup, or channel and can outlive shutdown; wait on ctx.Done or a channel, signal a WaitGroup, or lint:ignore with the shutdown story")
+			}
+			return true
+		})
+	}
+}
+
+// computeTied builds the package-local tied-function set and exports the
+// fact for each: a function is tied when its body (descending into nested
+// literals, but not into bodies it spawns with `go` — those are separate
+// goroutines) directly observes a shutdown signal, or calls a tied
+// function. External test units export nothing.
+func computeTied(pass *Pass) map[types.Object]bool {
+	if strings.HasSuffix(pass.Pkg.ImportPath, ".test") {
+		return nil
+	}
+	type funcInfo struct {
+		obj     types.Object
+		tied    bool
+		callees []*types.Func
+	}
+	infos := make(map[types.Object]*funcInfo)
+	var order []types.Object
+
+	for _, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Pkg.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			info := &funcInfo{obj: obj}
+			infos[obj] = info
+			order = append(order, obj)
+			inspectOwnGoroutine(fd.Body, func(n ast.Node) bool {
+				if directTieSignal(pass, n) {
+					info.tied = true
+					return true
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if fn := pass.CalleeFunc(call); fn != nil && fn.Pkg() != nil {
+						if fn.Pkg() == pass.Pkg.Types {
+							info.callees = append(info.callees, fn)
+						} else if _, ok := pass.ObjectFact(fn, tiedFact); ok {
+							info.tied = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range order {
+			info := infos[obj]
+			if info.tied {
+				continue
+			}
+			for _, callee := range info.callees {
+				if ci, ok := infos[callee]; ok && ci.tied {
+					info.tied = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	tied := make(map[types.Object]bool)
+	for _, obj := range order {
+		if infos[obj].tied {
+			tied[obj] = true
+			pass.ExportObjectFact(obj, tiedFact, "1")
+		}
+	}
+	return tied
+}
+
+// goroutineTied reports whether the goroutine spawned by gs has a bounded
+// exit. Indirect spawns (`go fn()` through a function value) are given the
+// benefit of the doubt — the target is unknowable statically.
+func goroutineTied(pass *Pass, gs *ast.GoStmt, tied map[types.Object]bool) bool {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		found := false
+		inspectOwnGoroutine(lit.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if directTieSignal(pass, n) {
+				found = true
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := pass.CalleeFunc(call); fn != nil {
+					if tied[fn] {
+						found = true
+						return false
+					}
+					if _, ok := pass.ObjectFact(fn, tiedFact); ok {
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return found
+	}
+	fn := pass.CalleeFunc(gs.Call)
+	if fn == nil {
+		return true // indirect spawn; target unknown
+	}
+	if tied[fn] {
+		return true
+	}
+	_, ok := pass.ObjectFact(fn, tiedFact)
+	return ok
+}
+
+// directTieSignal reports whether node n is a direct shutdown-signal
+// observation: a ctx.Done()/ctx.Err() call, a WaitGroup Done, a channel
+// receive, or a range over a channel. Channel *sends* and close() calls do
+// not count — they signal others, they do not bound this goroutine.
+func directTieSignal(pass *Pass, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		fn := pass.CalleeFunc(n)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "context":
+			return fn.Name() == "Done" || fn.Name() == "Err"
+		case "sync":
+			return fn.Name() == "Done" || fn.Name() == "Wait"
+		}
+	case *ast.UnaryExpr:
+		return n.Op == token.ARROW
+	case *ast.RangeStmt:
+		if t := pass.TypeOf(n.X); t != nil {
+			_, isChan := t.Underlying().(*types.Chan)
+			return isChan
+		}
+	}
+	return false
+}
+
+// inspectOwnGoroutine walks a goroutine body in source order, descending
+// into nested function literals that run on this goroutine but not into
+// literals spawned with a nested `go` statement — their ties are their own.
+func inspectOwnGoroutine(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	skip := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				skip[lit] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if skip[n] {
+			return false
+		}
+		return visit(n)
+	})
+}

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Package is one type-checked unit of source: a directory's library files
@@ -43,7 +45,19 @@ type Loader struct {
 	std     types.ImporterFrom
 	deps    map[string]*types.Package // import cache: non-test files only
 	loading map[string]bool           // cycle guard
+
+	// mu serializes imports: the GOROOT source importer and the deps map
+	// are not safe for the driver's concurrent type-checks.
+	mu sync.Mutex
+	// sourceLoads counts type-checks performed from source (units and
+	// module-internal imports; GOROOT packages are excluded). The driver's
+	// warm-cache invariant is that this stays zero.
+	sourceLoads atomic.Int64
 }
+
+// SourceLoads reports how many packages have been type-checked from source
+// by this loader.
+func (l *Loader) SourceLoads() int64 { return l.sourceLoads.Load() }
 
 // NewLoader creates a loader for the module rooted at root. The module path
 // is read from root's go.mod.
@@ -106,6 +120,12 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 // the module tree (library files only, matching the compiler's view of an
 // import), anything else defers to the GOROOT source importer.
 func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.importLocked(path)
+}
+
+func (l *Loader) importLocked(path string) (*types.Package, error) {
 	if path != l.Module && !strings.HasPrefix(path, l.Module+"/") {
 		return l.std.ImportFrom(path, l.Root, 0)
 	}
@@ -125,12 +145,24 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 	if err != nil {
 		return nil, err
 	}
-	pkg, _, err := l.check(path, files)
+	pkg, _, err := l.checkWith(lockedImporter{l}, path, files)
 	if err != nil {
 		return nil, err
 	}
 	l.deps[path] = pkg
 	return pkg, nil
+}
+
+// lockedImporter resolves nested imports while the loader's mutex is
+// already held, avoiding re-entrant locking during a module-internal load.
+type lockedImporter struct{ l *Loader }
+
+func (li lockedImporter) Import(path string) (*types.Package, error) {
+	return li.l.importLocked(path)
+}
+
+func (li lockedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return li.l.importLocked(path)
 }
 
 // dirFor maps a module-internal import path to its directory.
@@ -175,6 +207,11 @@ func (l *Loader) parseDir(dir string, keep func(name string) bool) ([]*ast.File,
 }
 
 func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	return l.checkWith(l, path, files)
+}
+
+func (l *Loader) checkWith(imp types.Importer, path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	l.sourceLoads.Add(1)
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Uses:       make(map[*ast.Ident]types.Object),
@@ -183,7 +220,7 @@ func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.I
 	}
 	var errs []error
 	conf := types.Config{
-		Importer:    l,
+		Importer:    imp,
 		FakeImportC: true,
 		Error: func(err error) {
 			if len(errs) < 10 {
@@ -232,6 +269,25 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 // for its external test package. testdata, vendor, and hidden directories
 // are skipped.
 func (l *Loader) Load(cwd string, patterns ...string) ([]*Package, error) {
+	dirs, err := l.ResolveDirs(cwd, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		units, err := l.loadUnits(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	return pkgs, nil
+}
+
+// ResolveDirs expands patterns ("./...", "dir/...", "dir") relative to cwd
+// into the sorted list of candidate package directories, skipping testdata,
+// vendor, hidden, and underscore-prefixed directories on recursive walks.
+func (l *Loader) ResolveDirs(cwd string, patterns ...string) ([]string, error) {
 	dirSet := make(map[string]bool)
 	for _, pat := range patterns {
 		recursive := false
@@ -274,16 +330,38 @@ func (l *Loader) Load(cwd string, patterns ...string) ([]*Package, error) {
 		dirs = append(dirs, d)
 	}
 	sort.Strings(dirs)
+	return dirs, nil
+}
 
-	var pkgs []*Package
-	for _, dir := range dirs {
-		units, err := l.loadUnits(dir)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, units...)
+// LoadUnit type-checks one unit of a directory: the base package (library
+// plus in-package tests) when external is false, the external _test package
+// when true.
+func (l *Loader) LoadUnit(dir string, external bool) (*Package, error) {
+	all, err := l.parseDir(dir, nil)
+	if err != nil {
+		return nil, err
 	}
-	return pkgs, nil
+	importPath, err := l.pathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, f := range all {
+		if strings.HasSuffix(f.Name.Name, "_test") == external {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no files for unit %s (external=%v)", importPath, external)
+	}
+	if external {
+		importPath += ".test"
+	}
+	pkg, info, err := l.check(importPath, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{ImportPath: importPath, Dir: dir, Fset: l.fset, Files: files, Types: pkg, Info: info}, nil
 }
 
 // loadUnits loads the package units of one directory: the base package with

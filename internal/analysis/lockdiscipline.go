@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"patchdb/internal/analysis/cfg"
+)
+
+// LockDiscipline is the flow-sensitive mutex checker: a sync.Mutex/RWMutex
+// must never be copied by value (signatures that take or return one), every
+// Lock/RLock must be matched by an Unlock/RUnlock on every path that
+// returns normally, and no lock may be held across a blocking channel
+// operation — a send, receive, blocking select, or channel range while
+// holding a mutex serializes the scheduler behind the lock and is this
+// repo's canonical deadlock shape (a worker blocked on a full results
+// channel while holding the shard lock the consumer needs).
+var LockDiscipline = &Analyzer{
+	Name:    "lockdiscipline",
+	Doc:     "mutexes are never copied by value, every Lock pairs with an Unlock on all paths, and no lock is held across a blocking channel op",
+	Version: 1,
+	Run:     runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				checkLockCopies(pass, fd)
+			}
+		}
+		funcBodies(f, func(body *ast.BlockStmt) {
+			checkLockFlow(pass, body)
+		})
+	}
+}
+
+// checkLockCopies flags signature slots (receiver, params, results) whose
+// type is, or contains by value, a sync.Mutex or sync.RWMutex.
+func checkLockCopies(pass *Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, slot string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if name, found := containsLockByValue(t, nil); found {
+				pass.Reportf(field.Type.Pos(), "%s copies %s by value; pass a pointer so Lock and Unlock see the same state", slot, name)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+}
+
+// containsLockByValue reports whether t is or (recursively through struct
+// fields and array elements) contains a sync.Mutex or sync.RWMutex held by
+// value, returning the lock's name for the diagnostic.
+func containsLockByValue(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if t == nil || seen[t] {
+		return "", false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return "sync." + obj.Name(), true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, found := containsLockByValue(u.Field(i).Type(), seen); found {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return containsLockByValue(u.Elem(), seen)
+	}
+	return "", false
+}
+
+// Event kinds inside a block, in source order.
+const (
+	lockEv = iota
+	unlockEv
+	chanEv
+)
+
+type lockEvent struct {
+	kind int
+	pos  token.Pos
+	key  string // textual lock key for lock/unlock events
+	name string // Lock/RLock/Unlock/RUnlock, or a channel-op description
+}
+
+// checkLockFlow builds the body's CFG and, for each Lock/RLock site, walks
+// forward demanding a matching unlock before every normal exit and flagging
+// blocking channel operations encountered while the lock is held.
+func checkLockFlow(pass *Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+
+	// Channel operations that are part of a select's comm clauses complete
+	// as the select dispatches — the dispatch block is the blocking point,
+	// so the clause ops themselves must not double-report.
+	commOps := make(map[ast.Node]bool)
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if comm := cl.(*ast.CommClause).Comm; comm != nil {
+				ast.Inspect(comm, func(x ast.Node) bool {
+					switch x.(type) {
+					case *ast.SendStmt, *ast.UnaryExpr:
+						commOps[x] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	events := make(map[*cfg.Block][]lockEvent)
+	for _, blk := range g.Blocks {
+		var evs []lockEvent
+		if blk.Select != nil && blockingSelect(blk.Select) {
+			evs = append(evs, lockEvent{kind: chanEv, pos: blk.Select.Pos(), name: "a blocking select"})
+		}
+		for _, node := range blk.Nodes {
+			if _, ok := node.(*ast.DeferStmt); ok {
+				continue // defers run at exit; handled via g.Defers below
+			}
+			inspectNoFuncLit(node, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if key, method, ok := mutexOp(pass, n); ok {
+						kind := lockEv
+						if strings.HasSuffix(method, "Unlock") {
+							kind = unlockEv
+						}
+						evs = append(evs, lockEvent{kind: kind, pos: n.Pos(), key: key, name: method})
+					}
+				case *ast.SendStmt:
+					if !commOps[n] {
+						evs = append(evs, lockEvent{kind: chanEv, pos: n.Pos(), name: "a channel send"})
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW && !commOps[n] {
+						evs = append(evs, lockEvent{kind: chanEv, pos: n.Pos(), name: "a channel receive"})
+					}
+				}
+				return true
+			})
+		}
+		if blk.Range != nil {
+			if t := pass.TypeOf(blk.Range.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					evs = append(evs, lockEvent{kind: chanEv, pos: blk.Range.Pos(), name: "a channel range"})
+				}
+			}
+		}
+		if len(evs) > 0 {
+			events[blk] = evs
+		}
+	}
+
+	// Deferred unlocks cover every exit after registration.
+	deferUnlocks := make(map[string]bool) // key + "/" + method
+	for _, d := range g.Defers {
+		if key, method, ok := mutexOp(pass, d.Call); ok && strings.HasSuffix(method, "Unlock") {
+			deferUnlocks[key+"/"+method] = true
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			inspectNoFuncLit(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if key, method, ok := mutexOp(pass, call); ok && strings.HasSuffix(method, "Unlock") {
+						deferUnlocks[key+"/"+method] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, blk := range g.Blocks {
+		for i, ev := range events[blk] {
+			if ev.kind != lockEv {
+				continue
+			}
+			unlockName := "Unlock"
+			if ev.name == "RLock" {
+				unlockName = "RUnlock"
+			}
+			deferred := deferUnlocks[ev.key+"/"+unlockName]
+			leaks, chanOp := walkLocked(g, events, blk, i+1, ev.key, unlockName)
+			if leaks && !deferred {
+				pass.Reportf(ev.pos, "%s.%s() has no matching %s on every return path; add one or defer it", ev.key, ev.name, unlockName)
+			}
+			if chanOp != nil {
+				pass.Reportf(chanOp.pos, "%s is performed while holding %s (locked with %s); release the lock before blocking", chanOp.name, ev.key, ev.name)
+			}
+		}
+	}
+}
+
+// walkLocked follows every path from a lock site until the matching unlock,
+// reporting whether some path reaches the normal exit still locked and the
+// first blocking channel op encountered while held.
+func walkLocked(g *cfg.Graph, events map[*cfg.Block][]lockEvent, start *cfg.Block, startIdx int, key, unlockName string) (leaks bool, chanOp *lockEvent) {
+	visited := make(map[*cfg.Block]bool)
+	visited[start] = true
+	var walk func(blk *cfg.Block, idx int)
+	walk = func(blk *cfg.Block, idx int) {
+		evs := events[blk]
+		for i := idx; i < len(evs); i++ {
+			ev := evs[i]
+			switch ev.kind {
+			case unlockEv:
+				if ev.key == key && ev.name == unlockName {
+					return // this path released the lock
+				}
+			case chanEv:
+				if chanOp == nil {
+					e := ev
+					chanOp = &e
+				}
+			}
+		}
+		for _, succ := range blk.Succs {
+			switch succ {
+			case g.Exit:
+				leaks = true
+			case g.PanicExit:
+				// Explicit panic paths are exempt: any call can panic, and
+				// deferred recovery is out of scope.
+			default:
+				if !visited[succ] {
+					visited[succ] = true
+					walk(succ, 0)
+				}
+			}
+		}
+	}
+	walk(start, startIdx)
+	return leaks, chanOp
+}
+
+// blockingSelect reports whether the select has no default clause (a
+// default makes it a poll, not a block).
+func blockingSelect(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cl.(*ast.CommClause).Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// mutexOp classifies a call as a sync mutex operation, returning the
+// textual key of the receiver expression ("mu", "s.mu") and the method
+// name. Receivers that are not simple ident/selector chains have no stable
+// key and are skipped.
+func mutexOp(pass *Pass, call *ast.CallExpr) (key, method string, ok bool) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	key = exprKey(sel.X)
+	if key == "" {
+		return "", "", false
+	}
+	return key, fn.Name(), true
+}
+
+// exprKey renders ident/selector chains ("mu", "s.shards.mu") as a textual
+// lock identity; anything fancier (index expressions, calls) yields "".
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprKey(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	}
+	return ""
+}

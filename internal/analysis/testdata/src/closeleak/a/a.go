@@ -1,0 +1,172 @@
+// Package a is the closeleak golden: files and response bodies must be
+// closed on every normal-return path, directly, by defer, or by handing the
+// handle to a helper whose closes-argument fact says it closes for the
+// caller. The helper package is analyzed first so its facts resolve here
+// across the package boundary.
+package a
+
+import (
+	"bufio"
+	"net/http"
+	"os"
+
+	"patchdb/internal/analysis/testdata/src/closeleak/helper"
+)
+
+func leaky(p string, skip bool) error {
+	f, err := os.Open(p) // want `os\.Open file acquired here is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	f.Close()
+	return nil
+}
+
+func okDeferred(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+func okErrGuard(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err // the handle never existed on this path
+	}
+	f.Close()
+	return nil
+}
+
+func okBothBranches(p string, alt bool) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	if alt {
+		f.Close()
+		return nil
+	}
+	f.Close()
+	return nil
+}
+
+func okHelperCloses(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	helper.CloseIt(f)
+	return nil
+}
+
+func okHelperForwards(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	helper.Forward(f)
+	return nil
+}
+
+func leakyHelperLeaves(p string) error {
+	f, err := os.Open(p) // want `os\.Open file acquired here is not closed on every path`
+	if err != nil {
+		return err
+	}
+	helper.Leave(f)
+	return nil
+}
+
+func closeLocal(f *os.File) {
+	f.Close()
+}
+
+func okLocalHelper(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	closeLocal(f)
+	return nil
+}
+
+// Passing the handle to a non-closing function is neutral, not a close and
+// not an escape: the leak is still on this function.
+func leakyReaderArg(p string) error {
+	f, err := os.Open(p) // want `os\.Open file acquired here is not closed on every path`
+	if err != nil {
+		return err
+	}
+	r := bufio.NewReader(f)
+	_, _ = r.ReadByte()
+	return nil
+}
+
+// Returning the handle moves ownership to the caller.
+func okEscapesReturn(p string) (*os.File, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Storing the handle in a struct moves ownership to the struct's owner.
+type holder struct {
+	f *os.File
+}
+
+func okEscapesStore(p string, h *holder) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	h.f = f
+	return nil
+}
+
+func leakyBody(url string) error {
+	resp, err := http.Get(url) // want `http response \(its Body\) acquired here is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		println("bad status")
+	}
+	return nil
+}
+
+func okBody(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return resp.Write(os.Stdout)
+}
+
+func okDeferredClosure(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.Close()
+	}()
+	return nil
+}
+
+func okCreateTempPattern(dir string) error {
+	f, err := os.CreateTemp(dir, "x*")
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return nil
+}

@@ -1,0 +1,21 @@
+// Package helper provides cross-package targets for the closeleak golden:
+// CloseIt closes its parameter (exported as a closes-argument fact),
+// Forward closes transitively through CloseIt, Leave does not close.
+package helper
+
+import "os"
+
+// CloseIt closes its argument for the caller.
+func CloseIt(f *os.File) {
+	f.Close()
+}
+
+// Forward hands the file to CloseIt — the closes fact is transitive.
+func Forward(f *os.File) {
+	CloseIt(f)
+}
+
+// Leave inspects the file but does not close it.
+func Leave(f *os.File) {
+	_ = f.Name()
+}

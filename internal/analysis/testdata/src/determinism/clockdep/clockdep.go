@@ -1,0 +1,26 @@
+// Package clockdep is the transitive-determinism golden: it is loaded under
+// a synthetic core-side import path, and every clock it reaches is at least
+// one call away — directly readable only through the clockhelper facts.
+package clockdep
+
+import "patchdb/internal/analysis/testdata/src/determinism/clockhelper"
+
+func useStamp() int64 {
+	return clockhelper.Stamp() // want `call to clockhelper\.Stamp transitively reaches a wall clock or global rand \(time\.Now\)`
+}
+
+func usePure() int64 {
+	return clockhelper.Pure(7)
+}
+
+func useSanctioned() int64 {
+	return clockhelper.Sanctioned()
+}
+
+func viaLocal() int64 {
+	return clockhelper.Stamp() // want `call to clockhelper\.Stamp transitively reaches a wall clock`
+}
+
+func localChain() int64 {
+	return viaLocal() // want `call to clockdep\.viaLocal transitively reaches a wall clock or global rand \(clockhelper\.Stamp -> time\.Now\)`
+}

@@ -1,0 +1,24 @@
+// Package clockhelper is the fact source for the transitive-determinism
+// golden: Stamp reaches the wall clock (and exports a clockreach fact),
+// Pure does not, and Sanctioned's clock read carries a reasoned ignore so
+// the taint stops at the root.
+package clockhelper
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Pure is a deterministic computation.
+func Pure(x int64) int64 {
+	return x * 2
+}
+
+// Sanctioned reads the clock, but the read is declared telemetry-only at
+// the root, so callers do not inherit the taint.
+func Sanctioned() int64 {
+	//lint:ignore determinism golden fixture: timing is telemetry-only by construction
+	return time.Now().UnixNano()
+}

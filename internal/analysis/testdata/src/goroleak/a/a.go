@@ -1,0 +1,105 @@
+// Package a is the goroleak golden. It is loaded under a synthetic
+// pipeline-side import path so reporting is active; the helper package is
+// analyzed first under its real path so its tied-function facts resolve
+// here across the package boundary.
+package a
+
+import (
+	"context"
+	"sync"
+
+	"patchdb/internal/analysis/testdata/src/goroleak/helper"
+)
+
+func spawnUntied(work func()) {
+	go func() { // want `goroutine's exit is not tied to a context, WaitGroup, or channel`
+		for {
+			work()
+		}
+	}()
+}
+
+func spawnCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func spawnWG(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func spawnRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Closing a channel signals others that this goroutine finished; it does
+// not bound when that happens, so it is not a tie.
+func spawnCloseOnly(done chan struct{}) {
+	go func() { // want `goroutine's exit is not tied to a context, WaitGroup, or channel`
+		defer close(done)
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// A send alone does not bound the goroutine either: the send completes and
+// the loop keeps running.
+func spawnSendOnly(out chan<- int) {
+	go func() { // want `goroutine's exit is not tied to a context, WaitGroup, or channel`
+		for i := 0; ; i++ {
+			out <- i
+		}
+	}()
+}
+
+func spawnHelperTied(ctx context.Context) {
+	go helper.WatchCtx(ctx) // tied via the helper's cross-package fact
+}
+
+func spawnHelperDrain(ch chan int) {
+	go helper.Drain(ch)
+}
+
+func spawnHelperUntied() {
+	go helper.Spin() // want `goroutine's exit is not tied to a context, WaitGroup, or channel`
+}
+
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func spawnLocalTied(ctx context.Context) {
+	go watch(ctx)
+}
+
+func spawnLitCallingTied(ctx context.Context) {
+	go func() {
+		watch(ctx)
+	}()
+}
+
+// An indirect spawn through a function value gets the benefit of the doubt.
+func spawnIndirect(fn func()) {
+	go fn()
+}
+
+// A nested `go` inside a goroutine body is its own goroutine: the outer
+// literal is tied by its receive, the inner one is flagged on its own.
+func spawnNested(ctx context.Context) {
+	go func() {
+		go func() { // want `goroutine's exit is not tied to a context, WaitGroup, or channel`
+			for i := 0; ; i++ {
+				_ = i
+			}
+		}()
+		<-ctx.Done()
+	}()
+}

@@ -1,0 +1,24 @@
+// Package helper provides cross-package targets for the goroleak golden:
+// WatchCtx ties its exit to a context (exported as a fact), Spin does not.
+package helper
+
+import "context"
+
+// WatchCtx blocks until ctx is canceled — a shutdown-bounded exit.
+func WatchCtx(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// Drain exits when the channel is closed — also bounded.
+func Drain(ch <-chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+// Spin never observes a shutdown signal.
+func Spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}

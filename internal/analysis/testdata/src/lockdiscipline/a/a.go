@@ -1,0 +1,139 @@
+// Package a is the lockdiscipline golden: by-value lock copies, Lock
+// without Unlock on some path, and locks held across blocking channel ops.
+package a
+
+import (
+	"errors"
+	"sync"
+)
+
+var errOops = errors.New("oops")
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}
+
+func missingUnlock(s *S, fail bool) error {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) has no matching Unlock on every return path`
+	if fail {
+		return errOops
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func okDefer(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func okAllPaths(s *S, b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+func okPanicPathExempt(s *S, b bool) {
+	s.mu.Lock()
+	if b {
+		panic("explicit panic paths are exempt")
+	}
+	s.mu.Unlock()
+}
+
+func rlockMissing(s *S, b bool) {
+	s.rw.RLock() // want `s\.rw\.RLock\(\) has no matching RUnlock on every return path`
+	if b {
+		return
+	}
+	s.rw.RUnlock()
+}
+
+func okRLockPaired(s *S) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+}
+
+func heldAcrossSend(s *S, ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want `a channel send is performed while holding s\.mu \(locked with Lock\)`
+	s.mu.Unlock()
+}
+
+func heldAcrossRecv(s *S, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-ch // want `a channel receive is performed while holding s\.mu`
+}
+
+func heldAcrossSelect(s *S, ch chan int, done chan struct{}) {
+	s.mu.Lock()
+	select { // want `a blocking select is performed while holding s\.mu`
+	case <-done:
+	case v := <-ch:
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+func okNonBlockingSelect(s *S, ch chan int) {
+	s.mu.Lock()
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func heldAcrossRange(s *S, ch chan int) {
+	s.mu.Lock()
+	for range ch { // want `a channel range is performed while holding s\.mu`
+	}
+	s.mu.Unlock()
+}
+
+func okSliceRangeWhileLocked(s *S, xs []int) {
+	s.mu.Lock()
+	for _, x := range xs {
+		_ = x
+	}
+	s.mu.Unlock()
+}
+
+func okReleaseBeforeSend(s *S, ch chan int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	ch <- 1
+}
+
+func okLoopBalanced(s *S, n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+}
+
+func copiesMutex(mu sync.Mutex) { // want `parameter copies sync\.Mutex by value`
+	_ = mu
+}
+
+func copiesStruct(s S) { // want `parameter copies sync\.Mutex by value`
+	_ = s
+}
+
+func returnsRWMutex() sync.RWMutex { // want `result copies sync\.RWMutex by value`
+	return sync.RWMutex{}
+}
+
+func (s S) valueReceiver() {} // want `receiver copies sync\.Mutex by value`
+
+func (s *S) okPointerReceiver() {}
+
+func okPointerParam(mu *sync.Mutex) {
+	_ = mu
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import "go/ast"
+
+// inspectNoFuncLit walks n in source order like ast.Inspect but does not
+// descend into function literals (unless n itself is one) — for flow-
+// sensitive analyzers whose property is per-function-body: a nested
+// literal's statements belong to the literal's own CFG, not the enclosing
+// function's.
+func inspectNoFuncLit(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			return false
+		}
+		if !visit(x) {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok && x != n {
+			return false
+		}
+		return true
+	})
+}
+
+// funcBodies yields every function body in the file — FuncDecl bodies and
+// FuncLit bodies at any nesting depth — so each can be analyzed with its
+// own control-flow graph.
+func funcBodies(f *ast.File, yield func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				yield(n.Body)
+			}
+		case *ast.FuncLit:
+			yield(n.Body)
+		}
+		return true
+	})
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -204,6 +204,7 @@ func Serve(addr string, hub *Hub) (*Server, error) {
 		srv:  &http.Server{Handler: mux},
 		done: make(chan struct{}),
 	}
+	//lint:ignore goroleak exit is bounded by Close: Shutdown unblocks Serve with ErrServerClosed and Close waits on <-s.done before returning
 	go func() {
 		defer close(s.done)
 		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {

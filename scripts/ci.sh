@@ -16,8 +16,44 @@ echo "==> build"
 echo "==> vet"
 "$GO" vet ./...
 
-echo "==> lint (patchdb-lint: determinism ctxloop errcanon telemetrysafe atomicwrite logcanon)"
-"$GO" run ./cmd/patchdb-lint ./...
+# The lint suite runs twice against one cache directory: the cold run also
+# writes the SARIF log CI uploads, the warm run proves the incremental
+# driver works — at least 90% of the units must come from the cache, zero
+# packages may be type-checked from source, and the warm run must be faster.
+LINTTMP="$(mktemp -d)"
+trap 'rm -rf "$LINTTMP"' EXIT
+
+echo "==> lint (cold: determinism ctxloop errcanon telemetrysafe atomicwrite logcanon lockdiscipline goroleak closeleak)"
+"$GO" build -o "$LINTTMP/patchdb-lint" ./cmd/patchdb-lint
+t0=$(date +%s)
+"$LINTTMP/patchdb-lint" -cache-dir "$LINTTMP/cache" -stats -sarif lint.sarif ./... 2>"$LINTTMP/cold.stats"
+t1=$(date +%s)
+cat "$LINTTMP/cold.stats"
+
+echo "==> lint (warm: incremental cache re-run)"
+"$LINTTMP/patchdb-lint" -cache-dir "$LINTTMP/cache" -stats ./... 2>"$LINTTMP/warm.stats"
+t2=$(date +%s)
+cat "$LINTTMP/warm.stats"
+
+units=$(sed -n 's/.*units=\([0-9]*\).*/\1/p' "$LINTTMP/warm.stats")
+hits=$(sed -n 's/.*cache_hits=\([0-9]*\).*/\1/p' "$LINTTMP/warm.stats")
+loads=$(sed -n 's/.*source_loads=\([0-9]*\).*/\1/p' "$LINTTMP/warm.stats")
+if [ -z "$units" ] || [ -z "$hits" ] || [ -z "$loads" ]; then
+    echo "ci: could not parse lint -stats output" >&2
+    exit 1
+fi
+if [ $((hits * 100)) -lt $((units * 90)) ]; then
+    echo "ci: warm lint run hit the cache for $hits/$units units, want >= 90%" >&2
+    exit 1
+fi
+if [ "$loads" -ne 0 ]; then
+    echo "ci: warm lint run type-checked $loads packages from source, want 0" >&2
+    exit 1
+fi
+if [ $((t2 - t1)) -ge $((t1 - t0)) ] && [ $((t1 - t0)) -gt 1 ]; then
+    echo "ci: warm lint run ($((t2 - t1))s) not faster than cold ($((t1 - t0))s)" >&2
+    exit 1
+fi
 
 echo "==> test"
 "$GO" test ./...
